@@ -1,0 +1,390 @@
+// Package repro's root benchmark harness regenerates the paper's
+// evaluation artifacts as testing.B benchmarks — one benchmark family per
+// table and figure — and adds the ablations called out in DESIGN.md.
+//
+// Wall-clock ns/op measures the host cost of simulating each program;
+// the paper's metric is the *virtual* run time under the §4.1 cost model,
+// reported as the custom metric "vtime" (virtual time units per run).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/machine"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// parsytec approximates the paper's start-up-dominated Parsytec network.
+var parsytec = core.Machine{Ts: 5000, Tw: 1}
+
+func inputsFor(p, m int) []algebra.Value {
+	in := make([]algebra.Value, p)
+	for i := range in {
+		b := make(algebra.Vec, m)
+		for j := range b {
+			b[j] = float64((i+j)%5 + 1)
+		}
+		in[i] = b
+	}
+	return in
+}
+
+func benchProgram(b *testing.B, prog core.Program, mach core.Machine) {
+	in := inputsFor(mach.P, mach.M)
+	var makespan float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := prog.Run(mach, in)
+		makespan = res.Makespan
+	}
+	b.ReportMetric(makespan, "vtime")
+}
+
+// BenchmarkTable1 regenerates Table 1: for every optimization rule, the
+// left-hand side and the rewritten right-hand side run on the virtual
+// machine; compare the two vtime metrics per rule to read the table.
+func BenchmarkTable1(b *testing.B) {
+	mach := parsytec
+	mach.P = 32
+	mach.M = 16
+	for _, pat := range exper.Patterns() {
+		r, ok := rules.ByName(pat.Rule)
+		if !ok {
+			b.Fatalf("no rule %s", pat.Rule)
+		}
+		eng := rules.NewEngine()
+		eng.Rules = []rules.Rule{r}
+		eng.Env.P = mach.P
+		opt, apps := eng.Optimize(pat.LHS.Term())
+		if len(apps) != 1 {
+			b.Fatalf("rule %s did not apply", pat.Rule)
+		}
+		b.Run(pat.Rule+"/before", func(b *testing.B) {
+			benchProgram(b, pat.LHS, mach)
+		})
+		b.Run(pat.Rule+"/after", func(b *testing.B) {
+			benchProgram(b, core.FromTerm(opt), mach)
+		})
+	}
+}
+
+// comcastProgs are the three variants of Figures 7 and 8.
+func comcastProgs() map[string]core.Program {
+	ops := algebra.OpCompBS(algebra.Add)
+	return map[string]core.Program{
+		"bcast_scan":   core.NewProgram().Bcast().Scan(algebra.Add),
+		"comcast":      core.FromTerm(term.Comcast{Ops: ops, CostOptimal: true}),
+		"bcast_repeat": core.FromTerm(term.Comcast{Ops: ops}),
+	}
+}
+
+// figureMachine is the machine for the Figure 7/8 benches. The paper's
+// curves (bcast;repeat < comcast < bcast;scan) hold in the start-up-
+// dominated regime m·tw < ts the Parsytec experiments ran in, so the
+// start-up is scaled up to keep that relation at the paper's 32·10³-word
+// blocks.
+var figureMachine = core.Machine{Ts: 50000, Tw: 1}
+
+// BenchmarkFigure7 regenerates Figure 7: the three comcast variants as
+// the machine grows, at fixed block size 32·10³ words (as in the paper).
+func BenchmarkFigure7(b *testing.B) {
+	const blockWords = 32000
+	for p := 4; p <= 64; p *= 2 {
+		for name, prog := range comcastProgs() {
+			mach := figureMachine
+			mach.P = p
+			mach.M = blockWords
+			b.Run(fmt.Sprintf("p=%d/%s", p, name), func(b *testing.B) {
+				benchProgram(b, prog, mach)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: the same three variants on 64
+// processors as the block size grows.
+func BenchmarkFigure8(b *testing.B) {
+	for _, m := range []int{5000, 15000, 25000, 35000} {
+		for name, prog := range comcastProgs() {
+			mach := figureMachine
+			mach.P = 64
+			mach.M = m
+			b.Run(fmt.Sprintf("m=%d/%s", m, name), func(b *testing.B) {
+				benchProgram(b, prog, mach)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2 exercises the P1/P2 warm-up of Figure 2 as programs on
+// the machine: the fused pair reduction against the plain reduction.
+func BenchmarkFigure2(b *testing.B) {
+	mach := parsytec
+	mach.P = 16
+	mach.M = 64
+	opNew := algebra.OpNew(algebra.Add, algebra.Mul)
+	b.Run("P1", func(b *testing.B) {
+		benchProgram(b, core.NewProgram().AllReduce(algebra.Add), mach)
+	})
+	b.Run("P2", func(b *testing.B) {
+		p2 := core.NewProgram().Map(term.PairFn).AllReduce(opNew).Map(term.FirstFn)
+		benchProgram(b, p2, mach)
+	})
+}
+
+// BenchmarkPolyEval regenerates the §5 case study timings.
+func BenchmarkPolyEval(b *testing.B) {
+	pe := exper.NewPolyEval(1, 32, 512)
+	mach := parsytec
+	mach.P = 32
+	mach.M = 512
+	in := make([]algebra.Value, 32)
+	for i := range in {
+		in[i] = pe.Points.Clone()
+	}
+	variants := map[string]core.Program{
+		"PolyEval_1":      pe.Program1(),
+		"PolyEval_2":      pe.Program2(),
+		"PolyEval_3":      pe.Program3(),
+		"comcast_optimal": pe.ProgramComcastOptimal(),
+	}
+	for name, prog := range variants {
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				_, res := prog.Run(mach, in)
+				makespan = res.Makespan
+			}
+			b.ReportMetric(makespan, "vtime")
+		})
+	}
+}
+
+// BenchmarkOpSRSharing is the DESIGN.md ablation of op_sr's shared uu:
+// four vs five elementary operations per combine, measured end to end on
+// a balanced reduction.
+func BenchmarkOpSRSharing(b *testing.B) {
+	mach := parsytec
+	mach.P = 32
+	mach.M = 256
+	for name, op := range map[string]*algebra.Op{
+		"shared_uu":  algebra.OpSR(algebra.Add),
+		"no_sharing": algebra.OpSRNoSharing(algebra.Add),
+	} {
+		prog := core.NewProgram().
+			Map(term.PairFn).
+			ReduceBalanced(op).
+			Map(term.FirstFn)
+		b.Run(name, func(b *testing.B) {
+			benchProgram(b, prog, mach)
+		})
+	}
+}
+
+// BenchmarkCollectivesWallClock measures the host-side cost of the raw
+// collectives (goroutines + channels), independent of virtual time: the
+// practical overhead of the simulator itself.
+func BenchmarkCollectivesWallClock(b *testing.B) {
+	for _, p := range []int{8, 64} {
+		vm := machine.New(p, machine.Params{Ts: 1, Tw: 1})
+		in := inputsFor(p, 64)
+		for name, body := range map[string]func(pr coll.Comm) algebra.Value{
+			"bcast": func(pr coll.Comm) algebra.Value {
+				return coll.Bcast(pr, 0, in[pr.Rank()])
+			},
+			"allreduce": func(pr coll.Comm) algebra.Value {
+				return coll.AllReduce(pr, algebra.Add, in[pr.Rank()])
+			},
+			"scan": func(pr coll.Comm) algebra.Value {
+				return coll.Scan(pr, algebra.Add, in[pr.Rank()])
+			},
+		} {
+			b.Run(fmt.Sprintf("p=%d/%s", p, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vm.Run(func(pr *machine.Proc) { body(coll.World(pr)) })
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBcastAlgorithms is the DESIGN.md ablation of broadcast
+// implementations: the binomial tree the paper's estimates assume, the
+// flat linear tree, and van de Geijn's scatter/allgather ([17]) — at a
+// start-up-dominated small block and a bandwidth-dominated large block.
+func BenchmarkBcastAlgorithms(b *testing.B) {
+	cases := []struct {
+		name   string
+		params machine.Params
+		words  int
+	}{
+		{"startup_small", machine.Params{Ts: 1000, Tw: 1}, 64},
+		{"bandwidth_large", machine.Params{Ts: 10, Tw: 4}, 1 << 16},
+	}
+	for _, cse := range cases {
+		for _, alg := range []coll.BcastAlg{
+			coll.BcastBinomial, coll.BcastLinear, coll.BcastScatterAllGather, coll.BcastPipelined,
+		} {
+			vm := machine.New(16, cse.params)
+			b.Run(cse.name+"/"+alg.String(), func(b *testing.B) {
+				var makespan float64
+				for i := 0; i < b.N; i++ {
+					res := vm.Run(func(pr *machine.Proc) {
+						c := coll.World(pr)
+						x := algebra.Value(algebra.Undef{})
+						if c.Rank() == 0 {
+							x = make(algebra.Vec, cse.words)
+						}
+						coll.BcastWith(c, 0, x, alg)
+					})
+					makespan = res.Makespan
+				}
+				b.ReportMetric(makespan, "vtime")
+			})
+		}
+	}
+}
+
+// BenchmarkClusterCollectives compares flat and hierarchical collectives
+// on a cluster of SMPs under cyclic (adversarial) placement, where the
+// placement-aware hierarchy pays only ceil(log nodes) expensive
+// start-ups.
+func BenchmarkClusterCollectives(b *testing.B) {
+	tp := cluster.Topology{
+		Nodes: 6, Cores: 8,
+		Intra:     machine.Params{Ts: 1, Tw: 1},
+		Inter:     machine.Params{Ts: 10000, Tw: 1},
+		Placement: cluster.Cyclic,
+	}
+	runBody := func(b *testing.B, body func(p *machine.Proc, cs cluster.Comms)) {
+		vm := tp.Machine()
+		var makespan float64
+		for i := 0; i < b.N; i++ {
+			res := vm.Run(func(p *machine.Proc) {
+				body(p, cluster.CommsFor(tp, p))
+			})
+			makespan = res.Makespan
+		}
+		b.ReportMetric(makespan, "vtime")
+	}
+	b.Run("allreduce/flat", func(b *testing.B) {
+		runBody(b, func(p *machine.Proc, cs cluster.Comms) {
+			coll.AllReduce(cs.World, algebra.Add, algebra.Scalar(1))
+		})
+	})
+	b.Run("allreduce/hierarchical", func(b *testing.B) {
+		runBody(b, func(p *machine.Proc, cs cluster.Comms) {
+			cluster.AllReduce(cs, algebra.Add, algebra.Scalar(1))
+		})
+	})
+	b.Run("bcast/flat", func(b *testing.B) {
+		runBody(b, func(p *machine.Proc, cs cluster.Comms) {
+			coll.Bcast(cs.World, 0, algebra.Scalar(1))
+		})
+	})
+	b.Run("bcast/hierarchical", func(b *testing.B) {
+		runBody(b, func(p *machine.Proc, cs cluster.Comms) {
+			cluster.Bcast(cs, algebra.Scalar(1))
+		})
+	})
+}
+
+// BenchmarkApps measures the collective-only applications of
+// internal/apps end to end.
+func BenchmarkApps(b *testing.B) {
+	mach := apps.Machine{P: 16, Ts: 1000, Tw: 1}
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = float64((i*2654435761)%101) - 50
+	}
+	b.Run("mss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			apps.MSS(mach, xs)
+		}
+	})
+	b.Run("statistics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			apps.Statistics(mach, xs)
+		}
+	})
+	b.Run("samplesort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			apps.SampleSort(mach, xs)
+		}
+	})
+}
+
+// BenchmarkAllReduceAlgorithms compares the butterfly all-reduce (the
+// paper's cost model) against the bandwidth-optimal ring
+// (reduce-scatter + allgather) in both parameter regimes.
+func BenchmarkAllReduceAlgorithms(b *testing.B) {
+	cases := []struct {
+		name   string
+		params machine.Params
+		words  int
+	}{
+		{"startup_small", machine.Params{Ts: 10000, Tw: 1}, 64},
+		{"bandwidth_large", machine.Params{Ts: 10, Tw: 4}, 1 << 14},
+	}
+	for _, cse := range cases {
+		for _, alg := range []coll.AllReduceAlg{coll.AllReduceButterfly, coll.AllReduceRingAlg} {
+			vm := machine.New(16, cse.params)
+			b.Run(cse.name+"/"+alg.String(), func(b *testing.B) {
+				var makespan float64
+				for i := 0; i < b.N; i++ {
+					res := vm.Run(func(pr *machine.Proc) {
+						c := coll.World(pr)
+						coll.AllReduceWith(c, algebra.Add, make(algebra.Vec, cse.words), alg)
+					})
+					makespan = res.Makespan
+				}
+				b.ReportMetric(makespan, "vtime")
+			})
+		}
+	}
+}
+
+// BenchmarkRewriteEngine measures optimizer throughput on a program with
+// several fusable windows.
+func BenchmarkRewriteEngine(b *testing.B) {
+	prog := core.NewProgram().
+		Bcast().Scan(algebra.Add).Scan(algebra.Add).
+		Scan(algebra.Mul).Reduce(algebra.Add).
+		Bcast().AllReduce(algebra.Add)
+	mach := core.Machine{Ts: 5000, Tw: 1, P: 64, M: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := prog.Optimize(mach)
+		if len(opt.Applications) == 0 {
+			b.Fatal("no applications")
+		}
+	}
+}
+
+// BenchmarkSemanticEval measures the pure functional semantics, the
+// reference the verifier uses.
+func BenchmarkSemanticEval(b *testing.B) {
+	t := term.Seq{
+		term.Bcast{},
+		term.Scan{Op: algebra.Mul},
+		term.Scan{Op: algebra.Add},
+		term.Reduce{Op: algebra.Add, All: true},
+	}
+	in := inputsFor(64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		term.Eval(t, in)
+	}
+}

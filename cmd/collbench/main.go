@@ -1,0 +1,161 @@
+// Command collbench regenerates the paper's evaluation artifacts on the
+// virtual machine: Table 1 (predicted, optionally measured), the
+// BS-Comcast experiments of Figures 7 and 8, the measured rule crossovers,
+// and the §5 polynomial-evaluation case study.
+//
+// Usage:
+//
+//	collbench -table1 [-measured]     reproduce Table 1
+//	collbench -fig7 [-csv]            reproduce Figure 7
+//	collbench -fig8 [-csv]            reproduce Figure 8
+//	collbench -fig2                   reproduce Figure 2
+//	collbench -fig3                   reproduce Figure 3 (timelines)
+//	collbench -crossover              measured vs predicted crossovers
+//	collbench -polyeval               reproduce the §5 case study
+//	collbench -everything             all of the above
+//
+// Machine parameters default to a Parsytec-like start-up-dominated
+// network (ts = 5000, tw = 1) and can be overridden with -ts/-tw/-p/-m.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/machine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code; factored out of
+// main so the command is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("collbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ts := fs.Float64("ts", 5000, "message start-up time")
+	tw := fs.Float64("tw", 1, "per-word transfer time")
+	p := fs.Int("p", 64, "number of processors")
+	m := fs.Int("m", 1024, "block size in words")
+	table1 := fs.Bool("table1", false, "reproduce Table 1")
+	measured := fs.Bool("measured", false, "also measure Table 1 on the virtual machine")
+	fig2 := fs.Bool("fig2", false, "reproduce Figure 2")
+	fig3 := fs.Bool("fig3", false, "reproduce Figure 3 (timelines)")
+	fig7 := fs.Bool("fig7", false, "reproduce Figure 7")
+	fig8 := fs.Bool("fig8", false, "reproduce Figure 8")
+	crossover := fs.Bool("crossover", false, "measured vs predicted crossovers")
+	crossfig := fs.Bool("crossfig", false, "plot the SS2-Scan before/after crossover (§4.2)")
+	scaling := fs.Bool("scaling", false, "strong scaling of SR2-Reduction's saving")
+	appsFlag := fs.Bool("apps", false, "strong scaling of the collective-only applications")
+	polyeval := fs.Bool("polyeval", false, "reproduce the §5 case study")
+	everything := fs.Bool("everything", false, "run every experiment")
+	csv := fs.Bool("csv", false, "emit figures as CSV instead of ASCII plots")
+	report := fs.Bool("report", false, "emit the full Markdown experiment report (EXPERIMENTS.md body)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *report {
+		fmt.Fprint(stdout, exper.Report(exper.ReportConfig{Ts: *ts, Tw: *tw, P: min(*p, 32), M: 16}))
+		return 0
+	}
+
+	if *everything {
+		*table1, *measured, *fig2, *fig3, *fig7, *fig8, *crossover, *polyeval =
+			true, true, true, true, true, true, true, true
+	}
+	if !*table1 && !*fig2 && !*fig3 && !*fig7 && !*fig8 && !*crossover && !*crossfig && !*scaling && !*appsFlag && !*polyeval && !*report {
+		fmt.Fprintln(stderr, "collbench: select an experiment (or -everything)")
+		fs.PrintDefaults()
+		return 2
+	}
+	params := machine.Params{Ts: *ts, Tw: *tw}
+	mach := core.Machine{Ts: *ts, Tw: *tw, P: *p, M: *m}
+
+	if *table1 {
+		fmt.Fprintf(stdout, "== Table 1 (ts=%g tw=%g p=%d m=%d) ==\n", *ts, *tw, *p, *m)
+		rows := exper.Table1(mach, *measured)
+		fmt.Fprint(stdout, exper.FormatTable1(rows, *measured))
+		fmt.Fprintln(stdout)
+	}
+	if *fig2 {
+		fmt.Fprintln(stdout, "== Figure 2: P1 = P2 on [1 2 3 4] ==")
+		p1, p2, mid := exper.Figure2()
+		fmt.Fprintf(stdout, "P1 = allreduce(+):                        %v\n", p1)
+		fmt.Fprintf(stdout, "P2 intermediate (allreduce(op_new)):      %v\n", mid)
+		fmt.Fprintf(stdout, "P2 = map pair; allreduce(op_new); map pi: %v\n", p2)
+		fmt.Fprintln(stdout)
+	}
+	if *fig3 {
+		fmt.Fprintln(stdout, "== Figure 3: Example before/after SR2-Reduction ==")
+		f3mach := core.Machine{Ts: *ts, Tw: *tw, P: min(*p, 8), M: *m}
+		before, after, tB, tA := exper.Figure3(f3mach, 64)
+		fmt.Fprint(stdout, before)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, after)
+		fmt.Fprintf(stdout, "\ntime saved: %.0f (%.1f%%)\n\n", tB-tA, 100*(tB-tA)/tB)
+	}
+	if *fig7 {
+		fig := exper.Figure7(params, *m, *p)
+		emit(stdout, fig, *csv)
+	}
+	if *fig8 {
+		fig := exper.Figure8(params, *p, *m/8+1, *m*4)
+		emit(stdout, fig, *csv)
+	}
+	if *crossover {
+		fmt.Fprintf(stdout, "== Crossovers (largest m where the rule still improves; ts=%g tw=%g p=%d) ==\n", *ts, *tw, *p)
+		for _, rule := range []string{"SR-Reduction", "SS2-Scan", "SS-Scan"} {
+			res := exper.MeasureCrossover(rule, core.Machine{Ts: *ts, Tw: *tw, P: *p}, 1<<15)
+			fmt.Fprintf(stdout, "  %-14s predicted m = %-6d measured m = %d\n", res.Rule, res.Predicted, res.Measured)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *crossfig {
+		tsI := int(*ts)
+		ms := []int{tsI / 8, tsI / 4, 3 * tsI / 8, tsI / 2, 5 * tsI / 8, 3 * tsI / 4, tsI}
+		fig := exper.CrossoverFigure("SS2-Scan", params, min(*p, 16), ms)
+		emit(stdout, fig, *csv)
+	}
+	if *scaling {
+		ps := []int{}
+		for q := 2; q <= *p; q *= 2 {
+			ps = append(ps, q)
+		}
+		fig := exper.Scaling("SR2-Reduction", params, *m**p, ps)
+		emit(stdout, fig, *csv)
+	}
+	if *appsFlag {
+		ps := []int{1, 2, 4, 8, 16, 32}
+		for _, app := range []string{"mss", "statistics", "samplesort"} {
+			rows := exper.AppSpeedup(app, *ts, *tw, 1<<14, ps)
+			fmt.Fprintln(stdout, exper.FormatSpeedup(app, rows))
+		}
+	}
+	if *polyeval {
+		fmt.Fprintf(stdout, "== §5 Polynomial evaluation (p=%d, %d points, ts=%g tw=%g) ==\n", *p, *m, *ts, *tw)
+		pe := exper.NewPolyEval(1, *p, *m)
+		for _, r := range pe.Run(*ts, *tw) {
+			status := "ok"
+			if !r.Correct {
+				status = "WRONG RESULT"
+			}
+			fmt.Fprintf(stdout, "  %-28s %12.0f  %s\n", r.Name, r.Makespan, status)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func emit(stdout io.Writer, fig exper.Figure, csv bool) {
+	if csv {
+		fmt.Fprintf(stdout, "# %s\n%s\n", fig.Title, fig.CSV())
+	} else {
+		fmt.Fprintln(stdout, fig.Plot(64, 16))
+	}
+}

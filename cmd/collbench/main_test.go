@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestTable1Predicted(t *testing.T) {
+	out, _, code := runBench(t, "-table1", "-p", "8", "-m", "16")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"SR2-Reduction", "CR-AllLocal", "always", "ts > 2m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Measured(t *testing.T) {
+	out, _, code := runBench(t, "-table1", "-measured", "-p", "8", "-m", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "meas before") {
+		t.Fatalf("missing measured columns:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, _, code := runBench(t, "-fig2")
+	if code != 0 || !strings.Contains(out, "[10, 24]") && !strings.Contains(out, "(10, 24)") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	out, _, code := runBench(t, "-fig3", "-p", "8", "-m", "8")
+	if code != 0 || !strings.Contains(out, "time saved") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestFigure7PlotAndCSV(t *testing.T) {
+	out, _, code := runBench(t, "-fig7", "-p", "16", "-m", "256")
+	if code != 0 || !strings.Contains(out, "Figure 7") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	out, _, code = runBench(t, "-fig7", "-csv", "-p", "16", "-m", "256")
+	if code != 0 || !strings.Contains(out, "processors,bcast; scan") {
+		t.Fatalf("csv exit %d:\n%s", code, out)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	out, _, code := runBench(t, "-fig8", "-csv", "-p", "16", "-m", "256")
+	if code != 0 || !strings.Contains(out, "block size,") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	out, _, code := runBench(t, "-crossover", "-ts", "1024", "-p", "16")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "SS2-Scan") || !strings.Contains(out, "predicted m = 511") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	out, _, code := runBench(t, "-polyeval", "-p", "8", "-m", "64")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "PolyEval_3") || strings.Contains(out, "WRONG RESULT") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestReport(t *testing.T) {
+	out, _, code := runBench(t, "-report", "-p", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "## Reproduced evaluation") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestNoExperimentSelected(t *testing.T) {
+	_, errb, code := runBench(t)
+	if code != 2 || !strings.Contains(errb, "select an experiment") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCrossFig(t *testing.T) {
+	out, _, code := runBench(t, "-crossfig", "-ts", "1024", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "SS2-Scan crossover") || !strings.Contains(out, "block size,before") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestScalingFlag(t *testing.T) {
+	out, _, code := runBench(t, "-scaling", "-p", "16", "-m", "64", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "strong scaling") || !strings.Contains(out, "processors,before,after") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestAppsFlag(t *testing.T) {
+	out, _, code := runBench(t, "-apps", "-ts", "100")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "mss strong scaling") || !strings.Contains(out, "samplesort strong scaling") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

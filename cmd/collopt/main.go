@@ -1,0 +1,145 @@
+// Command collopt is the optimizer front-end: it parses a program in the
+// paper's notation, lists the applicable optimization rules with their
+// cost estimates, applies the cost-guided rewriting, verifies the result
+// against the original program and prints the outcome.
+//
+// Usage:
+//
+//	collopt [flags] "scan(*) ; reduce(+)"
+//
+// Flags:
+//
+//	-ts N     message start-up time (default 1000)
+//	-tw N     per-word transfer time (default 1)
+//	-p N      number of processors (default 64)
+//	-m N      block size in words (default 64)
+//	-all      apply every applicable rule, ignoring the cost estimates
+//	-verify   check the rewriting on random inputs (default true)
+//
+// Example:
+//
+//	$ collopt -ts 1000 -m 16 "bcast ; scan(+) ; scan(+)"
+//	applied BSS-Comcast @0: bcast ; scan(+) ; scan(+)  =>  bcast; map# repeat(op_comp_bss(+))
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code; factored out of
+// main so the command is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("collopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ts := fs.Float64("ts", 1000, "message start-up time")
+	tw := fs.Float64("tw", 1, "per-word transfer time")
+	p := fs.Int("p", 64, "number of processors")
+	m := fs.Int("m", 64, "block size in words")
+	all := fs.Bool("all", false, "apply every applicable rule, ignoring cost estimates")
+	verify := fs.Bool("verify", true, "verify the rewriting on random inputs")
+	catalog := fs.Bool("rules", false, "print the rule catalog and exit")
+	mpi := fs.Bool("mpi", false, "parse the program in the paper's MPI notation instead of the compact one")
+	emitMPI := fs.Bool("emit-mpi", false, "render the optimized program as MPI-like pseudocode")
+	explain := fs.Bool("explain", false, "render applications in the paper's rule format")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *catalog {
+		fmt.Fprint(stdout, rules.Catalog(true))
+		return 0
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: collopt [flags] \"scan(*) ; reduce(+)\"")
+		fs.PrintDefaults()
+		return 2
+	}
+	parse := lang.Parse
+	if *mpi {
+		parse = lang.ParseMPI
+	}
+	t, err := parse(fs.Arg(0), nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "collopt: parse error: %v\n", err)
+		return 1
+	}
+	prog := core.FromTerm(t)
+	mach := core.Machine{Ts: *ts, Tw: *tw, P: *p, M: *m}
+
+	fmt.Fprintf(stdout, "program:  %s\n", prog)
+	fmt.Fprintf(stdout, "machine:  ts=%g tw=%g p=%d m=%d\n", *ts, *tw, *p, *m)
+	fmt.Fprintf(stdout, "estimate: %.0f\n\n", prog.Estimate(mach))
+
+	apps := prog.Applicable(mach)
+	if len(apps) == 0 {
+		fmt.Fprintln(stdout, "no optimization rule applies")
+		return 0
+	}
+	fmt.Fprintln(stdout, "applicable rules:")
+	for _, a := range apps {
+		verdict := "improves"
+		if a.CostAfter >= a.CostBefore {
+			verdict = "does not improve"
+		}
+		fmt.Fprintf(stdout, "  %-14s @%d  %10.0f -> %10.0f  (%s)\n",
+			a.Rule, a.Pos, a.CostBefore, a.CostAfter, verdict)
+	}
+	fmt.Fprintln(stdout)
+
+	var opt core.Optimization
+	if *all {
+		opt = prog.OptimizeExhaustively(algebra.Default(), *p)
+		opt.EstimateBefore = prog.Estimate(mach)
+		opt.EstimateAfter = opt.Program.Estimate(mach)
+	} else {
+		opt = prog.Optimize(mach)
+	}
+	if len(opt.Applications) == 0 {
+		fmt.Fprintln(stdout, "cost-guided engine: no profitable rewrite at these parameters")
+		return 0
+	}
+	for _, a := range opt.Applications {
+		if *explain {
+			fmt.Fprint(stdout, rules.FormatApplication(a))
+		} else {
+			fmt.Fprintf(stdout, "applied %s\n", a)
+		}
+	}
+	fmt.Fprintf(stdout, "\noptimized: %s\n", opt.Program)
+	fmt.Fprintf(stdout, "estimate:  %.0f -> %.0f (%.2fx)\n",
+		opt.EstimateBefore, opt.EstimateAfter, opt.EstimateBefore/opt.EstimateAfter)
+	if *emitMPI {
+		fmt.Fprintf(stdout, "\nMPI-like pseudocode:\n%s", lang.FormatMPI(opt.Program.Term()))
+	}
+
+	if *verify {
+		cfg := rules.VerifyConfig{Seed: 1, BlockWords: 4}
+		// The Local rules compute f^(log p) by repeated squaring and
+		// hold only on power-of-two machines; verify them on their
+		// domain.
+		for _, a := range opt.Applications {
+			if r, ok := rules.ByName(a.Rule); ok && r.Class == "Local" {
+				cfg.Pow2Only = true
+			}
+		}
+		if err := prog.Verify(opt.Program, cfg); err != nil {
+			fmt.Fprintf(stderr, "collopt: VERIFICATION FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "verified:  original and optimized programs agree on random inputs")
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOpt(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestOptimizesAndVerifies(t *testing.T) {
+	out, _, code := runOpt(t, "-ts", "1000", "-m", "16", "bcast ; scan(+) ; scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"applicable rules:",
+		"BSS-Comcast",
+		"applied BSS-Comcast",
+		"optimized: bcast; map# repeat(op_comp_bss(+))",
+		"verified:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRefusesUnprofitableRewrite(t *testing.T) {
+	// Large blocks, tiny start-up: SS2-Scan must not fire.
+	out, _, code := runOpt(t, "-ts", "1", "-m", "100000", "scan(*) ; scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "no profitable rewrite") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "does not improve") {
+		t.Fatalf("applicable listing should flag the unprofitable rule:\n%s", out)
+	}
+}
+
+func TestAllFlagIgnoresCosts(t *testing.T) {
+	out, _, code := runOpt(t, "-all", "-ts", "1", "-m", "100000", "scan(*) ; scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "applied SS2-Scan") {
+		t.Fatalf("-all should force the rewrite:\n%s", out)
+	}
+}
+
+func TestNoRuleApplies(t *testing.T) {
+	out, _, code := runOpt(t, "scan(+)")
+	if code != 0 || !strings.Contains(out, "no optimization rule applies") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestParseErrorExitCode(t *testing.T) {
+	_, errb, code := runOpt(t, "scan(bogus)")
+	if code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb, "unknown operator") {
+		t.Fatalf("stderr: %s", errb)
+	}
+}
+
+func TestUsageOnMissingArgument(t *testing.T) {
+	_, errb, code := runOpt(t)
+	if code != 2 || !strings.Contains(errb, "usage: collopt") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, _, code := runOpt(t, "-nope", "scan(+)")
+	if code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestRulesCatalogFlag(t *testing.T) {
+	out, _, code := runOpt(t, "-rules")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"SR2-Reduction", "CR-AllLocal", "BM-Mobility", "class Comcast"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	out, _, code := runOpt(t, "-explain", "-ts", "5000", "scan(+) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "SR-Reduction (at stage 0)") || !strings.Contains(out, "⊕ is commutative") {
+		t.Fatalf("explain output:\n%s", out)
+	}
+}
+
+func TestMPIFlag(t *testing.T) {
+	out, _, code := runOpt(t, "-mpi",
+		"MPI_Scan (x, y, c, t, MPI_PROD, comm); MPI_Reduce (y, u, c, t, MPI_SUM, root, comm);")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "applied SR2-Reduction") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestEmitMPIFlag(t *testing.T) {
+	out, _, code := runOpt(t, "-emit-mpi", "-ts", "5000", "scan(*) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "MPI-like pseudocode") || !strings.Contains(out, "MPI_Reduce") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestLocalRuleVerifiesOnItsDomain(t *testing.T) {
+	// BSR-Local holds only on power-of-two machines; the CLI must
+	// verify it there instead of failing on p = 3.
+	out, _, code := runOpt(t, "-ts", "5000", "bcast ; scan(+) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "applied BSR-Local") || !strings.Contains(out, "verified:") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+// Command collsim runs a program on the virtual machine and shows what
+// happened: the output list, the per-processor clocks, the makespan, and
+// a text timeline of the run (the run-time pictures of Figures 1 and 3).
+//
+// Usage:
+//
+//	collsim [flags] "bcast ; scan(+)"
+//
+// Flags:
+//
+//	-ts N      message start-up time (default 100)
+//	-tw N      per-word transfer time (default 1)
+//	-p N       number of processors (default 8)
+//	-m N       block size in words (default 1: scalar blocks)
+//	-input S   comma-separated per-processor scalar inputs (default 1..p)
+//	-width N   timeline width in columns (default 72)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/machine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code; factored out of
+// main so the command is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("collsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ts := fs.Float64("ts", 100, "message start-up time")
+	tw := fs.Float64("tw", 1, "per-word transfer time")
+	p := fs.Int("p", 8, "number of processors")
+	m := fs.Int("m", 1, "block size in words")
+	input := fs.String("input", "", "comma-separated per-processor scalar inputs")
+	width := fs.Int("width", 72, "timeline width")
+	profile := fs.Bool("profile", false, "print per-processor usage and per-stage breakdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: collsim [flags] \"bcast ; scan(+)\"")
+		fs.PrintDefaults()
+		return 2
+	}
+	t, err := lang.Parse(fs.Arg(0), nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "collsim: parse error: %v\n", err)
+		return 1
+	}
+	prog := core.FromTerm(t)
+
+	in, err := buildInput(*input, *p, *m)
+	if err != nil {
+		fmt.Fprintf(stderr, "collsim: %v\n", err)
+		return 1
+	}
+	mach := core.Machine{Ts: *ts, Tw: *tw, P: *p, M: *m}
+	out, res, events := prog.RunTraced(mach, in)
+
+	fmt.Fprintf(stdout, "program:  %s\n", prog)
+	fmt.Fprintf(stdout, "machine:  ts=%g tw=%g p=%d\n", *ts, *tw, *p)
+	fmt.Fprintf(stdout, "input:    %v\n", in)
+	fmt.Fprintf(stdout, "output:   %v\n", out)
+	fmt.Fprintf(stdout, "makespan: %.0f   (estimate %.0f)\n", res.Makespan, prog.Estimate(mach))
+	fmt.Fprintf(stdout, "messages: %d\n\n", res.Messages)
+	fmt.Fprint(stdout, machine.Timeline(events, *p, *width))
+	if *profile {
+		usage := machine.Analyze(events, *p)
+		stages := machine.StageBreakdown(events, *p)
+		fmt.Fprintf(stdout, "\n%s", machine.FormatProfile(usage, stages))
+	}
+	return 0
+}
+
+func buildInput(spec string, p, m int) ([]algebra.Value, error) {
+	vals := make([]float64, p)
+	if spec == "" {
+		for i := range vals {
+			vals[i] = float64(i + 1)
+		}
+	} else {
+		parts := strings.Split(spec, ",")
+		if len(parts) != p {
+			return nil, fmt.Errorf("-input has %d values, machine has %d processors", len(parts), p)
+		}
+		for i, s := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad input value %q", s)
+			}
+			vals[i] = v
+		}
+	}
+	in := make([]algebra.Value, p)
+	for i, v := range vals {
+		if m <= 1 {
+			in[i] = algebra.Scalar(v)
+		} else {
+			b := make(algebra.Vec, m)
+			for j := range b {
+				b[j] = v
+			}
+			in[i] = b
+		}
+	}
+	return in, nil
+}

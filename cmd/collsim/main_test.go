@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestSimulatesBcastScan(t *testing.T) {
+	out, _, code := runSim(t, "-p", "4", "bcast ; scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	// Default input 1..4; bcast makes everything 1; scan gives 1 2 3 4.
+	for _, want := range []string{
+		"program:  bcast ; scan(+)",
+		"output:   [1 2 3 4]",
+		"makespan:",
+		"legend:",
+		"P0",
+		"P3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomInput(t *testing.T) {
+	out, _, code := runSim(t, "-p", "3", "-input", "5, 0, 0", "bcast ; scan(*)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "output:   [5 25 125]") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestVectorBlocks(t *testing.T) {
+	out, _, code := runSim(t, "-p", "2", "-m", "3", "scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "[1 1 1]") || !strings.Contains(out, "[3 3 3]") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestInputLengthMismatch(t *testing.T) {
+	_, errb, code := runSim(t, "-p", "4", "-input", "1,2", "bcast")
+	if code != 1 || !strings.Contains(errb, "4 processors") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestBadInputValue(t *testing.T) {
+	_, errb, code := runSim(t, "-p", "2", "-input", "1,x", "bcast")
+	if code != 1 || !strings.Contains(errb, "bad input value") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	_, errb, code := runSim(t, "blub")
+	if code != 1 || !strings.Contains(errb, "unknown stage") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	_, errb, code := runSim(t)
+	if code != 2 || !strings.Contains(errb, "usage: collsim") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	out, _, code := runSim(t, "-p", "4", "-profile", "bcast ; scan(+)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"compute", "stage breakdown", "bcast", "scan(+)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}

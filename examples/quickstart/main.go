@@ -1,0 +1,78 @@
+// Quickstart: the paper's program Example (§2.1), end to end.
+//
+// It builds the program map f ; scan(op1) ; reduce(op2) ; map g ; bcast,
+// asks the engine which optimization rules apply on a start-up-dominated
+// machine, applies the cost-guided rewriting (SR2-Reduction, as in
+// Figure 3), verifies the equivalence on random inputs, and runs both
+// versions on the virtual machine to show the measured saving.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+func main() {
+	// Local stages: f adds 1 to every block element, g doubles it.
+	f := &term.Fn{Name: "f", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, algebra.Scalar(1))
+	}}
+	g := &term.Fn{Name: "g", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Mul.Apply(v, algebra.Scalar(2))
+	}}
+
+	// Program Example with op1 = *, op2 = + (so * distributes over +).
+	example := core.NewProgram().
+		Map(f).
+		Scan(algebra.Mul).
+		Reduce(algebra.Add).
+		Map(g).
+		Bcast()
+
+	mach := core.Machine{Ts: 1000, Tw: 1, P: 16, M: 8}
+	fmt.Printf("program:  %s\n", example)
+	fmt.Printf("machine:  ts=%g tw=%g p=%d m=%d\n\n", mach.Ts, mach.Tw, mach.P, mach.M)
+
+	// What could we do here?
+	for _, a := range example.Applicable(mach) {
+		fmt.Printf("applicable: %-14s estimate %8.0f -> %8.0f\n", a.Rule, a.CostBefore, a.CostAfter)
+	}
+
+	// Let the cost model decide.
+	opt := example.Optimize(mach)
+	fmt.Printf("\n%s\n", opt.Summary())
+	fmt.Printf("optimized: %s\n\n", opt.Program)
+
+	// Trust, but verify: both programs must agree on random inputs.
+	if err := example.Verify(opt.Program, rules.VerifyConfig{Seed: 42, BlockWords: 8}); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("verified: programs agree on random inputs")
+
+	// And measure on the virtual machine.
+	in := make([]algebra.Value, mach.P)
+	for i := range in {
+		b := make(algebra.Vec, mach.M)
+		for j := range b {
+			b[j] = float64((i+j)%3 + 1)
+		}
+		in[i] = b
+	}
+	outB, resB := example.Run(mach, in)
+	outA, resA := opt.Program.Run(mach, in)
+	if !algebra.EqualListsModuloUndef(outB, outA) {
+		log.Fatalf("outputs differ: %v vs %v", outB, outA)
+	}
+	fmt.Printf("measured: %.0f -> %.0f (%.2fx faster)\n",
+		resB.Makespan, resA.Makespan, resB.Makespan/resA.Makespan)
+	fmt.Printf("output on processor 0: %v\n", outA[0])
+}

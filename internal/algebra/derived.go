@@ -1,0 +1,443 @@
+package algebra
+
+import "fmt"
+
+// This file constructs the derived operators that the optimization rules
+// of §3 introduce. Each constructor takes the base operator(s) of the
+// original collective operations and returns the tuple operator of the
+// rewritten program, with the operation counts of §4 recorded in Cost so
+// the virtual machine charges exactly the computation the paper counts.
+
+func tup2(v Value) (a, b Value) {
+	t, ok := v.(Tuple)
+	if !ok || len(t) != 2 {
+		panic(fmt.Sprintf("algebra: expected pair, got %s", v))
+	}
+	return t[0], t[1]
+}
+
+func tup3(v Value) (a, b, c Value) {
+	t, ok := v.(Tuple)
+	if !ok || len(t) != 3 {
+		panic(fmt.Sprintf("algebra: expected triple, got %s", v))
+	}
+	return t[0], t[1], t[2]
+}
+
+func tup4(v Value) (a, b, c, d Value) {
+	t, ok := v.(Tuple)
+	if !ok || len(t) != 4 {
+		panic(fmt.Sprintf("algebra: expected quadruple, got %s", v))
+	}
+	return t[0], t[1], t[2], t[3]
+}
+
+// OpSR2 builds op_sr2 of rules SR2-Reduction and SS2-Scan:
+//
+//	op_sr2((s1,r1),(s2,r2)) = (s1 ⊕ (r1 ⊗ s2), r1 ⊗ r2)
+//
+// It is associative whenever ⊗ and ⊕ are associative and ⊗ distributes
+// over ⊕, so it can drive the ordinary reduce and scan collectives.
+// Three elementary operations per element (Table 1: m·(2tw+3)).
+func OpSR2(otimes, oplus *Op) *Op {
+	return &Op{
+		Name:  fmt.Sprintf("op_sr2(%s,%s)", otimes.Name, oplus.Name),
+		Cost:  3,
+		Arity: 2,
+		Fn: func(a, b Value) Value {
+			s1, r1 := tup2(a)
+			s2, r2 := tup2(b)
+			return Tuple{
+				oplus.Apply(s1, otimes.Apply(r1, s2)),
+				otimes.Apply(r1, r2),
+			}
+		},
+	}
+}
+
+// OpNew builds the pointwise pair operator of the Figure 2 warm-up:
+//
+//	op_new((a1,b1),(a2,b2)) = (a1 op1 a2, b1 op2 b2)
+func OpNew(op1, op2 *Op) *Op {
+	return &Op{
+		Name:  fmt.Sprintf("op_new(%s,%s)", op1.Name, op2.Name),
+		Cost:  op1.Cost + op2.Cost,
+		Arity: 2,
+		Fn: func(a, b Value) Value {
+			a1, b1 := tup2(a)
+			a2, b2 := tup2(b)
+			return Tuple{op1.Apply(a1, a2), op2.Apply(b1, b2)}
+		},
+	}
+}
+
+// OpSR builds op_sr of rule SR-Reduction, for commutative ⊕:
+//
+//	op_sr((t1,u1),(t2,u2)) = (t1 ⊕ t2 ⊕ u1, uu ⊕ uu)   with uu = u1 ⊕ u2
+//	op_sr((),   (t2,u2))  = (t2, u2 ⊕ u2)
+//
+// The shared uu keeps the count at four elementary operations instead of
+// five (Table 1: m·(2tw+4)). op_sr is not associative in general, so only
+// the balanced collectives of §3.2 may use it.
+func OpSR(oplus *Op) *Op {
+	return &Op{
+		Name:  fmt.Sprintf("op_sr(%s)", oplus.Name),
+		Cost:  4,
+		Arity: 2,
+		Fn: func(a, b Value) Value {
+			t1, u1 := tup2(a)
+			t2, u2 := tup2(b)
+			uu := oplus.Apply(u1, u2)
+			return Tuple{
+				oplus.Apply(oplus.Apply(t1, t2), u1),
+				oplus.Apply(uu, uu),
+			}
+		},
+		Unary: func(b Value) Value {
+			t2, u2 := tup2(b)
+			return Tuple{t2, oplus.Apply(u2, u2)}
+		},
+	}
+}
+
+// OpSRNoSharing is the ablation variant of OpSR that recomputes u1 ⊕ u2
+// on both sides instead of sharing uu: five elementary operations. The
+// result is identical; only the charged computation differs.
+func OpSRNoSharing(oplus *Op) *Op {
+	op := OpSR(oplus)
+	naive := &Op{
+		Name:  fmt.Sprintf("op_sr_nosharing(%s)", oplus.Name),
+		Cost:  5,
+		Arity: 2,
+		Fn: func(a, b Value) Value {
+			t1, u1 := tup2(a)
+			t2, u2 := tup2(b)
+			return Tuple{
+				oplus.Apply(oplus.Apply(t1, t2), u1),
+				oplus.Apply(oplus.Apply(u1, u2), oplus.Apply(u1, u2)),
+			}
+		},
+		Unary: op.Unary,
+	}
+	return naive
+}
+
+// OpSegmented builds the segmented-scan operator over (flag, value)
+// pairs — the device that makes nested data parallelism à la NESL (the
+// paper's reference [4]) expressible with the ordinary scan collective.
+// A set flag starts a new segment; combining restarts the accumulation at
+// segment boundaries:
+//
+//	(f1,x1) ⊕seg (f2,x2) = (f1 ∨ f2,  x2           if f2
+//	                                  x1 ⊕ x2      otherwise)
+//
+// The operator is associative whenever ⊕ is (flags use max as ∨ on 0/1
+// scalars), so scan(op_seg) computes all per-segment prefixes in one
+// collective.
+func OpSegmented(oplus *Op) *Op {
+	return &Op{
+		Name:  fmt.Sprintf("op_seg(%s)", oplus.Name),
+		Cost:  2,
+		Arity: 2,
+		Fn: func(a, b Value) Value {
+			f1, x1 := tup2(a)
+			f2, x2 := tup2(b)
+			flag := Max.Apply(f1, f2)
+			if s, ok := f2.(Scalar); ok && s != 0 {
+				return Tuple{flag, x2}
+			}
+			return Tuple{flag, oplus.Apply(x1, x2)}
+		},
+	}
+}
+
+// BalancedScanOp is the node operator of the balanced scan (§3.3,
+// Figure 5). Unlike an ordinary binary operator it produces a result for
+// each of the two butterfly partners, and it ships only the components the
+// partner actually reads (for op_ss that is (t,u,v) — 3m of the 4m words,
+// which is where Table 1's 3tw comes from).
+type BalancedScanOp struct {
+	// Name identifies the operator in traces.
+	Name string
+	// CostLo and CostHi are the elementary operations per element
+	// performed by the lower- and higher-ranked partner respectively.
+	CostLo, CostHi int
+	// Arity is the tuple width of the processor state.
+	Arity int
+	// ShipWidth is the number of tuple components Ship sends to the
+	// partner (3 of op_ss's 4 — the source of Table 1's 3tw term).
+	ShipWidth int
+	// Ship projects the processor state to the message sent to the
+	// partner.
+	Ship func(own Value) Value
+	// Lo computes the lower-ranked partner's new state from its own
+	// state and the shipped part of the higher partner's state.
+	Lo func(own, fromHi Value) Value
+	// Hi computes the higher-ranked partner's new state from its own
+	// state and the shipped part of the lower partner's state.
+	Hi func(own, fromLo Value) Value
+	// Solo is applied by processors without a partner in this phase
+	// (number of processors not a power of two): they keep their first
+	// component, the rest becomes undetermined.
+	Solo func(own Value) Value
+}
+
+// OpSS builds op_ss of rule SS-Scan, for commutative ⊕ (§3.3):
+//
+//	op_ss((s1,t1,u1,v1),(s2,t2,u2,v2)) =
+//	    ((s1, ttu, uuuu, vv), (s2 ⊕ t1 ⊕ v1, ttu, uuuu, uu ⊕ vv))
+//	ttu = t1 ⊕ t2 ⊕ u1,  uu = u1 ⊕ u2,  uuuu = uu ⊕ uu,  vv = v1 ⊕ v2
+//
+// Sharing ttu, uu, uuuu and vv brings the operator from twelve to eight
+// elementary operations (Table 1: m·(3tw+8); the higher-ranked side does
+// the eight, the lower-ranked side five).
+func OpSS(oplus *Op) *BalancedScanOp {
+	return &BalancedScanOp{
+		Name:      fmt.Sprintf("op_ss(%s)", oplus.Name),
+		CostLo:    5,
+		CostHi:    8,
+		Arity:     4,
+		ShipWidth: 3,
+		Ship: func(own Value) Value {
+			_, t, u, v := tup4(own)
+			return Tuple{t, u, v}
+		},
+		Lo: func(own, fromHi Value) Value {
+			s1, t1, u1, v1 := tup4(own)
+			t2, u2, v2 := tup3(fromHi)
+			uu := oplus.Apply(u1, u2)
+			return Tuple{
+				s1,
+				oplus.Apply(oplus.Apply(t1, t2), u1),
+				oplus.Apply(uu, uu),
+				oplus.Apply(v1, v2),
+			}
+		},
+		Hi: func(own, fromLo Value) Value {
+			s2, t2, u2, v2 := tup4(own)
+			t1, u1, v1 := tup3(fromLo)
+			uu := oplus.Apply(u1, u2)
+			vv := oplus.Apply(v1, v2)
+			return Tuple{
+				oplus.Apply(oplus.Apply(s2, t1), v1),
+				oplus.Apply(oplus.Apply(t1, t2), u1),
+				oplus.Apply(uu, uu),
+				oplus.Apply(uu, vv),
+			}
+		},
+		Solo: func(own Value) Value {
+			s, _, _, _ := tup4(own)
+			return Tuple{s, Undef{}, Undef{}, Undef{}}
+		},
+	}
+}
+
+// RepeatOps is the (e, o) function pair of the comcast rules (§3.4): the
+// repeat schema traverses the binary digits of the processor number,
+// applying e for a 0 digit and o for a 1 digit. CostE and CostO record the
+// elementary operations per element of each function; the per-phase worst
+// case (CostO for every rule in the paper) is what Table 1 charges.
+type RepeatOps struct {
+	// Name identifies the pair in traces.
+	Name string
+	// CostE and CostO are elementary operations per element.
+	CostE, CostO int
+	// Arity is the tuple width of the working state.
+	Arity int
+	// Prepare duplicates the broadcast value into the working tuple
+	// (pair for BS, triple for BSS2, quadruple for BSS).
+	Prepare func(b Value) Value
+	// E and O are the even- and odd-digit step functions.
+	E, O func(Value) Value
+}
+
+// OpCompBS builds the e/o pair of rule BS-Comcast:
+//
+//	e(t,u) = (t, u ⊕ u)        o(t,u) = (t ⊕ u, u ⊕ u)
+func OpCompBS(oplus *Op) *RepeatOps {
+	return &RepeatOps{
+		Name:    fmt.Sprintf("op_comp_bs(%s)", oplus.Name),
+		CostE:   1,
+		CostO:   2,
+		Arity:   2,
+		Prepare: Pair,
+		E: func(v Value) Value {
+			t, u := tup2(v)
+			return Tuple{t, oplus.Apply(u, u)}
+		},
+		O: func(v Value) Value {
+			t, u := tup2(v)
+			return Tuple{oplus.Apply(t, u), oplus.Apply(u, u)}
+		},
+	}
+}
+
+// OpCompBSS2 builds the e/o pair of rule BSS2-Comcast (⊗ distributes
+// over ⊕):
+//
+//	e(s,t,u) = (s, t ⊕ (t ⊗ u), u ⊗ u)
+//	o(s,t,u) = (t ⊕ (s ⊗ u), t ⊕ (t ⊗ u), u ⊗ u)
+func OpCompBSS2(otimes, oplus *Op) *RepeatOps {
+	return &RepeatOps{
+		Name:    fmt.Sprintf("op_comp_bss2(%s,%s)", otimes.Name, oplus.Name),
+		CostE:   3,
+		CostO:   5,
+		Arity:   3,
+		Prepare: Triple,
+		E: func(v Value) Value {
+			s, t, u := tup3(v)
+			return Tuple{s, oplus.Apply(t, otimes.Apply(t, u)), otimes.Apply(u, u)}
+		},
+		O: func(v Value) Value {
+			s, t, u := tup3(v)
+			return Tuple{
+				oplus.Apply(t, otimes.Apply(s, u)),
+				oplus.Apply(t, otimes.Apply(t, u)),
+				otimes.Apply(u, u),
+			}
+		},
+	}
+}
+
+// OpCompBSS builds the e/o pair of rule BSS-Comcast (commutative ⊕):
+//
+//	e(s,t,u,v) = (s, t ⊕ t ⊕ u, uu ⊕ uu, v ⊕ v)            uu = u ⊕ u
+//	o(s,t,u,v) = (s ⊕ t ⊕ v, t ⊕ t ⊕ u, uu ⊕ uu, uu ⊕ v ⊕ v)
+func OpCompBSS(oplus *Op) *RepeatOps {
+	return &RepeatOps{
+		Name:    fmt.Sprintf("op_comp_bss(%s)", oplus.Name),
+		CostE:   5,
+		CostO:   8,
+		Arity:   4,
+		Prepare: Quadruple,
+		E: func(v Value) Value {
+			s, t, u, vv := tup4(v)
+			uu := oplus.Apply(u, u)
+			return Tuple{
+				s,
+				oplus.Apply(oplus.Apply(t, t), u),
+				oplus.Apply(uu, uu),
+				oplus.Apply(vv, vv),
+			}
+		},
+		O: func(v Value) Value {
+			s, t, u, vv := tup4(v)
+			uu := oplus.Apply(u, u)
+			return Tuple{
+				oplus.Apply(oplus.Apply(s, t), vv),
+				oplus.Apply(oplus.Apply(t, t), u),
+				oplus.Apply(uu, uu),
+				oplus.Apply(oplus.Apply(uu, vv), vv),
+			}
+		},
+	}
+}
+
+// Repeat applies the logarithmic-time schema of §3.4 (equation (14)) to
+// the processor number k: traverse k's binary digits from least to most
+// significant, applying E for a 0 and O for a 1.
+func (r *RepeatOps) Repeat(k int, b Value) Value {
+	if k < 0 {
+		panic("algebra: Repeat with negative processor number")
+	}
+	v := b
+	for k != 0 {
+		if k%2 == 0 {
+			v = r.E(v)
+		} else {
+			v = r.O(v)
+		}
+		k /= 2
+	}
+	return v
+}
+
+// RepeatCharge is the computation time charged for Repeat(k, b) on a
+// working tuple whose components hold m words each: the digit-by-digit
+// sum of CostE/CostO times m.
+func (r *RepeatOps) RepeatCharge(k, m int) float64 {
+	total := 0
+	for k != 0 {
+		if k%2 == 0 {
+			total += r.CostE
+		} else {
+			total += r.CostO
+		}
+		k /= 2
+	}
+	return float64(total) * float64(m)
+}
+
+// IterOp is the unary operator iterated log p times by the Local rules
+// (§3.5).
+type IterOp struct {
+	// Name identifies the operator in traces.
+	Name string
+	// Cost is elementary operations per element per application.
+	Cost int
+	// Arity is the tuple width of the working state.
+	Arity int
+	// Prepare builds the working state from the first processor's input
+	// (identity for op_br, pair for op_bsr2/op_bsr).
+	Prepare func(b Value) Value
+	// F is one application.
+	F func(Value) Value
+}
+
+// Charge is the computation time of one application of the operator to
+// value a, analogous to Op.Charge.
+func (o *IterOp) Charge(a Value) float64 {
+	w := a.Words()
+	if o.Arity > 1 {
+		w /= o.Arity
+	}
+	return float64(o.Cost) * float64(w)
+}
+
+// OpBR builds op_br of rule BR-Local: op_br s = s ⊕ s. Iterated log p
+// times it computes the p-fold reduction of the broadcast value.
+func OpBR(oplus *Op) *IterOp {
+	return &IterOp{
+		Name:    fmt.Sprintf("op_br(%s)", oplus.Name),
+		Cost:    1,
+		Arity:   1,
+		Prepare: func(b Value) Value { return b },
+		F:       func(s Value) Value { return oplus.Apply(s, s) },
+	}
+}
+
+// OpBSR2 builds op_bsr2 of rule BSR2-Local (⊗ distributes over ⊕):
+//
+//	op_bsr2(s,t) = (s ⊕ (s ⊗ t), t ⊗ t)
+func OpBSR2(otimes, oplus *Op) *IterOp {
+	return &IterOp{
+		Name:    fmt.Sprintf("op_bsr2(%s,%s)", otimes.Name, oplus.Name),
+		Cost:    3,
+		Arity:   2,
+		Prepare: Pair,
+		F: func(v Value) Value {
+			s, t := tup2(v)
+			return Tuple{oplus.Apply(s, otimes.Apply(s, t)), otimes.Apply(t, t)}
+		},
+	}
+}
+
+// OpBSR builds op_bsr of rule BSR-Local (commutative ⊕):
+//
+//	op_bsr(t,u) = (t ⊕ t ⊕ u, uu ⊕ uu)    uu = u ⊕ u
+func OpBSR(oplus *Op) *IterOp {
+	return &IterOp{
+		Name:    fmt.Sprintf("op_bsr(%s)", oplus.Name),
+		Cost:    4,
+		Arity:   2,
+		Prepare: Pair,
+		F: func(v Value) Value {
+			t, u := tup2(v)
+			uu := oplus.Apply(u, u)
+			return Tuple{
+				oplus.Apply(oplus.Apply(t, t), u),
+				oplus.Apply(uu, uu),
+			}
+		},
+	}
+}

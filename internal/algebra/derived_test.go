@@ -1,0 +1,349 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scanThenReduce is the brute-force reference for scan(⊗); reduce(⊕):
+// the ⊕-reduction of the ⊗-prefixes.
+func scanThenReduce(otimes, oplus *Op, xs []Value) Value {
+	prefix := xs[0]
+	acc := xs[0]
+	for _, x := range xs[1:] {
+		prefix = otimes.Apply(prefix, x)
+		acc = oplus.Apply(acc, prefix)
+	}
+	return acc
+}
+
+// TestOpSR2FoldEqualsScanReduce: left-folding op_sr2 over paired inputs
+// and projecting the first component equals scan(⊗); reduce(⊕) — the
+// semantic core of rule SR2-Reduction.
+func TestOpSR2FoldEqualsScanReduce(t *testing.T) {
+	sr2 := OpSR2(Mul, Add)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(9)
+		xs := make([]Value, n)
+		for i := range xs {
+			xs[i] = Scalar(rng.Intn(7) - 3)
+		}
+		acc := Pair(xs[0])
+		for _, x := range xs[1:] {
+			acc = sr2.Apply(acc, Pair(x))
+		}
+		got := First(acc)
+		want := scanThenReduce(Mul, Add, xs)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: op_sr2 fold = %v, want %v (inputs %v)", trial, got, want, xs)
+		}
+	}
+}
+
+// TestOpSR2TreeFoldEqualsScanReduce folds op_sr2 in an arbitrary bracketing
+// (possible because it is associative) and checks the same equality.
+func TestOpSR2TreeFoldEqualsScanReduce(t *testing.T) {
+	sr2 := OpSR2(Add, Max)
+	rng := rand.New(rand.NewSource(8))
+	var treeFold func(xs []Value) Value
+	treeFold = func(xs []Value) Value {
+		if len(xs) == 1 {
+			return Pair(xs[0])
+		}
+		cut := 1 + rng.Intn(len(xs)-1)
+		return sr2.Apply(treeFold(xs[:cut]), treeFold(xs[cut:]))
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		xs := make([]Value, n)
+		for i := range xs {
+			xs[i] = Scalar(rng.Intn(11) - 5)
+		}
+		got := First(treeFold(xs))
+		want := scanThenReduce(Add, Max, xs)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: tree fold = %v, want %v (inputs %v)", trial, got, want, xs)
+		}
+	}
+}
+
+func TestOpNewFigure2(t *testing.T) {
+	// Figure 2: allreduce(op_new) over pair'd [1,2,3,4] yields (10, 24)
+	// everywhere; π₁ delivers the sum 10.
+	opNew := OpNew(Add, Mul)
+	xs := []Value{Scalar(1), Scalar(2), Scalar(3), Scalar(4)}
+	acc := Pair(xs[0])
+	for _, x := range xs[1:] {
+		acc = opNew.Apply(acc, Pair(x))
+	}
+	if !Equal(acc, Tuple{Scalar(10), Scalar(24)}) {
+		t.Fatalf("op_new fold = %v, want (10, 24)", acc)
+	}
+	if !Equal(First(acc), Scalar(10)) {
+		t.Fatalf("π₁ = %v, want 10", First(acc))
+	}
+}
+
+func TestOpSRUnary(t *testing.T) {
+	sr := OpSR(Add)
+	// op_sr((), (t,u)) = (t, u ⊕ u): the Figure 4 pass-through
+	// (9,14) → (9,28).
+	got := sr.ApplyUnary(Tuple{Scalar(9), Scalar(14)})
+	if !Equal(got, Tuple{Scalar(9), Scalar(28)}) {
+		t.Fatalf("op_sr unary = %v, want (9, 28)", got)
+	}
+}
+
+func TestOpSRFigure4Nodes(t *testing.T) {
+	sr := OpSR(Add)
+	// The combining steps of Figure 4.
+	steps := []struct {
+		a, b, want Tuple
+	}{
+		{Tuple{Scalar(2), Scalar(2)}, Tuple{Scalar(5), Scalar(5)}, Tuple{Scalar(9), Scalar(14)}},
+		{Tuple{Scalar(9), Scalar(9)}, Tuple{Scalar(1), Scalar(1)}, Tuple{Scalar(19), Scalar(20)}},
+		{Tuple{Scalar(2), Scalar(2)}, Tuple{Scalar(6), Scalar(6)}, Tuple{Scalar(10), Scalar(16)}},
+		{Tuple{Scalar(19), Scalar(20)}, Tuple{Scalar(10), Scalar(16)}, Tuple{Scalar(49), Scalar(72)}},
+		{Tuple{Scalar(9), Scalar(28)}, Tuple{Scalar(49), Scalar(72)}, Tuple{Scalar(86), Scalar(200)}},
+	}
+	for i, s := range steps {
+		got := sr.Apply(s.a, s.b)
+		if !Equal(got, s.want) {
+			t.Errorf("step %d: op_sr(%v, %v) = %v, want %v", i, s.a, s.b, got, s.want)
+		}
+	}
+}
+
+func TestOpSRNoSharingMatchesOpSR(t *testing.T) {
+	sr := OpSR(Add)
+	naive := OpSRNoSharing(Add)
+	if naive.Cost != 5 || sr.Cost != 4 {
+		t.Fatalf("costs: sharing %d (want 4), naive %d (want 5)", sr.Cost, naive.Cost)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a := Tuple{Scalar(rng.Intn(20)), Scalar(rng.Intn(20))}
+		b := Tuple{Scalar(rng.Intn(20)), Scalar(rng.Intn(20))}
+		if !Equal(sr.Apply(a, b), naive.Apply(a, b)) {
+			t.Fatalf("sharing and naive op_sr disagree at (%v, %v)", a, b)
+		}
+	}
+}
+
+// repeated applies ⊕ k times to b: b ⊕ b ⊕ … (k+1 operands).
+func repeated(op *Op, b Value, k int) Value {
+	acc := b
+	for i := 0; i < k; i++ {
+		acc = op.Apply(acc, b)
+	}
+	return acc
+}
+
+func TestRepeatBSComputesScanOfBroadcast(t *testing.T) {
+	// bcast; scan(⊕) gives processor k the (k+1)-fold ⊕ of b.
+	ops := OpCompBS(Add)
+	b := Scalar(2)
+	for k := 0; k < 33; k++ {
+		got := First(ops.Repeat(k, ops.Prepare(b)))
+		want := repeated(Add, b, k)
+		if !Equal(got, want) {
+			t.Fatalf("repeat_bs(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestRepeatBSFigure6(t *testing.T) {
+	// Figure 6: b = 2, ⊕ = +, six processors get [2 4 6 8 10 12].
+	ops := OpCompBS(Add)
+	want := []float64{2, 4, 6, 8, 10, 12}
+	for k, w := range want {
+		got := First(ops.Repeat(k, ops.Prepare(Scalar(2))))
+		if !Equal(got, Scalar(w)) {
+			t.Fatalf("proc %d: repeat = %v, want %g", k, got, w)
+		}
+	}
+}
+
+func TestRepeatBSS2ComputesScanScanOfBroadcast(t *testing.T) {
+	// bcast; scan(⊗); scan(⊕): processor k gets ⊕_{i=0..k} b^{⊗(i+1)}.
+	ops := OpCompBSS2(Mul, Add)
+	b := Scalar(2)
+	for k := 0; k < 17; k++ {
+		got := First(ops.Repeat(k, ops.Prepare(b)))
+		// Reference: ⊗-powers then ⊕-prefix.
+		pow := Value(b)
+		acc := Value(b)
+		for i := 1; i <= k; i++ {
+			pow = Mul.Apply(pow, b)
+			acc = Add.Apply(acc, pow)
+		}
+		if !Equal(got, acc) {
+			t.Fatalf("repeat_bss2(%d) = %v, want %v", k, got, acc)
+		}
+	}
+}
+
+func TestRepeatBSSComputesDoubleScanOfBroadcast(t *testing.T) {
+	// bcast; scan(⊕); scan(⊕): processor k gets the k-th prefix of the
+	// prefixes, (k+1)(k+2)/2 · b for ⊕ = +.
+	ops := OpCompBSS(Add)
+	b := Scalar(3)
+	for k := 0; k < 33; k++ {
+		got := First(ops.Repeat(k, ops.Prepare(b)))
+		want := Scalar(float64((k+1)*(k+2)/2) * 3)
+		if !Equal(got, want) {
+			t.Fatalf("repeat_bss(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestRepeatCharge(t *testing.T) {
+	ops := OpCompBS(Add) // CostE 1, CostO 2
+	// k = 6 = 110b: digits LSB-first are 0,1,1 → e,o,o → 1+2+2 = 5 per word.
+	if got := ops.RepeatCharge(6, 10); got != 50 {
+		t.Fatalf("RepeatCharge(6, 10) = %g, want 50", got)
+	}
+	if got := ops.RepeatCharge(0, 10); got != 0 {
+		t.Fatalf("RepeatCharge(0, 10) = %g, want 0", got)
+	}
+}
+
+func TestQuickRepeatMatchesNaive(t *testing.T) {
+	// The logarithmic repeat schema equals the naive k-fold application
+	// of g (for BS-Comcast, g = (⊕ b) on the running prefix).
+	ops := OpCompBS(Add)
+	f := func(k uint8, bv int8) bool {
+		b := Scalar(bv)
+		got := First(ops.Repeat(int(k), ops.Prepare(b)))
+		return Equal(got, repeated(Add, b, int(k)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterOpBR(t *testing.T) {
+	// iter(op_br) log p times computes the p-fold reduction of b.
+	op := OpBR(Add)
+	b := Scalar(5)
+	w := op.Prepare(b)
+	for j := 0; j < 5; j++ {
+		w = op.F(w)
+	}
+	// 2^5 = 32 copies of 5.
+	if !Equal(First(w), Scalar(160)) {
+		t.Fatalf("op_br^5(5) = %v, want 160", First(w))
+	}
+}
+
+func TestIterOpBSR2(t *testing.T) {
+	// iter(op_bsr2) log p times computes bcast; scan(⊗); reduce(⊕) on
+	// p = 2^j processors.
+	op := OpBSR2(Mul, Add)
+	b := Scalar(2)
+	for j := 0; j <= 4; j++ {
+		w := op.Prepare(b)
+		for i := 0; i < j; i++ {
+			w = op.F(w)
+		}
+		p := 1 << j
+		// Reference: Σ_{i=1..p} 2^i = 2^{p+1} - 2.
+		var want float64
+		pow := 1.0
+		for i := 1; i <= p; i++ {
+			pow *= 2
+			want += pow
+		}
+		if !Equal(First(w), Scalar(want)) {
+			t.Fatalf("p=%d: op_bsr2 iter = %v, want %g", p, First(w), want)
+		}
+	}
+}
+
+func TestIterOpBSR(t *testing.T) {
+	// iter(op_bsr) log p times computes bcast; scan(⊕); reduce(⊕) for
+	// commutative ⊕ on p = 2^j processors: p(p+1)/2 · b for +.
+	op := OpBSR(Add)
+	b := Scalar(4)
+	for j := 0; j <= 5; j++ {
+		w := op.Prepare(b)
+		for i := 0; i < j; i++ {
+			w = op.F(w)
+		}
+		p := 1 << j
+		want := Scalar(float64(p*(p+1)/2) * 4)
+		if !Equal(First(w), want) {
+			t.Fatalf("p=%d: op_bsr iter = %v, want %v", p, First(w), want)
+		}
+	}
+}
+
+func TestIterOpCharge(t *testing.T) {
+	op := OpBSR2(Mul, Add) // Cost 3, Arity 2
+	pair := Tuple{Vec{1, 2}, Vec{3, 4}}
+	if got := op.Charge(pair); got != 6 {
+		t.Fatalf("op_bsr2.Charge(pair of 2-vecs) = %g, want 6", got)
+	}
+}
+
+func TestDerivedOpCosts(t *testing.T) {
+	// The operation counts of Table 1.
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"op_sr2", OpSR2(Mul, Add).Cost, 3},
+		{"op_sr", OpSR(Add).Cost, 4},
+		{"op_ss lo", OpSS(Add).CostLo, 5},
+		{"op_ss hi", OpSS(Add).CostHi, 8},
+		{"bs e", OpCompBS(Add).CostE, 1},
+		{"bs o", OpCompBS(Add).CostO, 2},
+		{"bss2 e", OpCompBSS2(Mul, Add).CostE, 3},
+		{"bss2 o", OpCompBSS2(Mul, Add).CostO, 5},
+		{"bss e", OpCompBSS(Add).CostE, 5},
+		{"bss o", OpCompBSS(Add).CostO, 8},
+		{"op_br", OpBR(Add).Cost, 1},
+		{"op_bsr2", OpBSR2(Mul, Add).Cost, 3},
+		{"op_bsr", OpBSR(Add).Cost, 4},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s cost = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestOpSegmentedAssociative(t *testing.T) {
+	seg := OpSegmented(Add)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		mk := func() Tuple {
+			return Tuple{Scalar(rng.Intn(2)), Scalar(rng.Intn(9) - 4)}
+		}
+		a, b, c := mk(), mk(), mk()
+		l := seg.Apply(seg.Apply(a, b), c)
+		r := seg.Apply(a, seg.Apply(b, c))
+		if !Equal(l, r) {
+			t.Fatalf("op_seg not associative at (%v, %v, %v): %v vs %v", a, b, c, l, r)
+		}
+	}
+}
+
+func TestOpSegmentedScanSemantics(t *testing.T) {
+	// Sequential fold of op_seg computes per-segment prefix sums.
+	seg := OpSegmented(Add)
+	flags := []float64{1, 0, 0, 1, 0, 1, 0, 0}
+	vals := []float64{3, 4, 5, 10, 1, 7, 7, 7}
+	want := []float64{3, 7, 12, 10, 11, 7, 14, 21}
+	acc := Value(Tuple{Scalar(flags[0]), Scalar(vals[0])})
+	for i := 1; i < len(vals); i++ {
+		acc = seg.Apply(acc, Tuple{Scalar(flags[i]), Scalar(vals[i])})
+		got := acc.(Tuple)[1]
+		if !Equal(got, Scalar(want[i])) {
+			t.Fatalf("position %d: %v, want %g", i, got, want[i])
+		}
+	}
+}

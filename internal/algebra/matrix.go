@@ -1,0 +1,126 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mat is a dense row-major matrix value. Matrices make scan and comcast
+// applicable to linear recurrences — the setting of the paper's
+// reference [20] (linear list recursion in parallel): the k-th term of
+// x_{i+1} = A·x_i is read off A^k, and A^k for all k is exactly
+// bcast ; scan(matmul), which rule BS-Comcast fuses (matrix
+// multiplication is associative but not commutative, so only the
+// associativity-based rules apply).
+type Mat struct {
+	// R and C are the row and column counts.
+	R, C int
+	// Data holds the entries row-major; len(Data) == R·C.
+	Data []float64
+}
+
+// NewMat builds an R×C matrix from row-major entries.
+func NewMat(r, c int, data ...float64) Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("algebra: %d entries for a %d×%d matrix", len(data), r, c))
+	}
+	return Mat{R: r, C: c, Data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) Mat {
+	m := Mat{R: n, C: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Words reports the entry count.
+func (m Mat) Words() int { return m.R * m.C }
+
+func (m Mat) String() string {
+	rows := make([]string, m.R)
+	for i := 0; i < m.R; i++ {
+		cells := make([]string, m.C)
+		for j := 0; j < m.C; j++ {
+			cells[j] = fmt.Sprintf("%g", m.At(i, j))
+		}
+		rows[i] = strings.Join(cells, " ")
+	}
+	return "[" + strings.Join(rows, "; ") + "]"
+}
+
+// MulMat multiplies two conformable matrices.
+func (m Mat) MulMat(n Mat) Mat {
+	if m.C != n.R {
+		panic(fmt.Sprintf("algebra: multiplying %d×%d by %d×%d", m.R, m.C, n.R, n.C))
+	}
+	out := Mat{R: m.R, C: n.C, Data: make([]float64, m.R*n.C)}
+	for i := 0; i < m.R; i++ {
+		for k := 0; k < m.C; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.C; j++ {
+				out.Data[i*n.C+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec applies the matrix to a vector of length C.
+func (m Mat) MulVec(v Vec) Vec {
+	if len(v) != m.C {
+		panic(fmt.Sprintf("algebra: %d×%d matrix applied to %d-vector", m.R, m.C, len(v)))
+	}
+	out := make(Vec, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out[i] += m.At(i, j) * v[j]
+		}
+	}
+	return out
+}
+
+// MatMul is matrix multiplication as a collective base operator:
+// associative, not commutative. The per-element cost approximates the 2n
+// multiply-adds per output entry of an n×n product with the inner
+// dimension of the left operand.
+var MatMul = &Op{
+	Name:  "matmul",
+	Cost:  4, // 2·n per element at the n = 2 matrices the examples use
+	Arity: 1,
+	Fn: func(a, b Value) Value {
+		if IsUndef(a) || IsUndef(b) {
+			return Undef{}
+		}
+		x, ok := a.(Mat)
+		if !ok {
+			panic(fmt.Sprintf("algebra: matmul applied to %T", a))
+		}
+		y, ok := b.(Mat)
+		if !ok {
+			panic(fmt.Sprintf("algebra: matmul applied to %T", b))
+		}
+		return x.MulMat(y)
+	},
+}
+
+// EqualMat reports exact equality of two matrices.
+func EqualMat(a, b Mat) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMat(2, 2, 1, 2, 3)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(1, 1) != 1 || id.At(0, 1) != 0 {
+		t.Fatalf("identity = %v", id)
+	}
+	m := NewMat(3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	if !EqualMat(m.MulMat(id), m) || !EqualMat(id.MulMat(m), m) {
+		t.Fatal("identity is not a unit")
+	}
+}
+
+func TestMulMat(t *testing.T) {
+	a := NewMat(2, 3, 1, 2, 3, 4, 5, 6)
+	b := NewMat(3, 2, 7, 8, 9, 10, 11, 12)
+	got := a.MulMat(b)
+	want := NewMat(2, 2, 58, 64, 139, 154)
+	if !EqualMat(got, want) {
+		t.Fatalf("product = %v, want %v", got, want)
+	}
+}
+
+func TestMulMatDimensionMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMat(2, 2, 1, 0, 0, 1).MulMat(NewMat(3, 1, 1, 2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMat(2, 2, 1, 1, 1, 0) // Fibonacci step
+	v := a.MulVec(Vec{1, 0})
+	if !Equal(v, Vec{1, 1}) {
+		t.Fatalf("Av = %v", v)
+	}
+}
+
+func TestMatWordsAndString(t *testing.T) {
+	m := NewMat(2, 2, 1, 2, 3, 4)
+	if m.Words() != 4 {
+		t.Fatalf("Words = %d", m.Words())
+	}
+	if m.String() != "[1 2; 3 4]" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMatMulOp(t *testing.T) {
+	a := Value(NewMat(2, 2, 1, 1, 1, 0))
+	got := MatMul.Apply(a, a)
+	if !Equal(got, Value(NewMat(2, 2, 2, 1, 1, 1))) {
+		t.Fatalf("matmul = %v", got)
+	}
+	if !IsUndef(MatMul.Apply(Undef{}, a)) {
+		t.Fatal("matmul should propagate undef")
+	}
+}
+
+func TestMatEqualInValueEqual(t *testing.T) {
+	a := Value(NewMat(2, 2, 1, 2, 3, 4))
+	b := Value(NewMat(2, 2, 1, 2, 3, 4))
+	c := Value(NewMat(2, 2, 1, 2, 3, 5))
+	if !Equal(a, b) || Equal(a, c) {
+		t.Fatal("Equal on matrices broken")
+	}
+	if Equal(a, Scalar(1)) {
+		t.Fatal("matrix equals scalar")
+	}
+}
+
+func TestMatMulDeclaredAssociative(t *testing.T) {
+	r := Default()
+	if !r.Associative(MatMul) {
+		t.Fatal("matmul should be associative in the default registry")
+	}
+	if r.Commutative(MatMul) {
+		t.Fatal("matmul must not be commutative")
+	}
+}
+
+func TestQuickMatMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randMat := func() Mat {
+		d := make([]float64, 4)
+		for i := range d {
+			d[i] = float64(rng.Intn(7) - 3)
+		}
+		return Mat{R: 2, C: 2, Data: d}
+	}
+	f := func() bool {
+		a, b, c := randMat(), randMat(), randMat()
+		l := a.MulMat(b).MulMat(c)
+		r := a.MulMat(b.MulMat(c))
+		return EqualMat(l, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulNotCommutativeWitness(t *testing.T) {
+	a := NewMat(2, 2, 1, 1, 0, 1)
+	b := NewMat(2, 2, 1, 0, 1, 1)
+	if EqualMat(a.MulMat(b), b.MulMat(a)) {
+		t.Fatal("witness matrices commute unexpectedly")
+	}
+}

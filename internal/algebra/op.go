@@ -1,0 +1,148 @@
+package algebra
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a binary base operator (the paper's ⊕, ⊗) or one of the derived
+// tuple operators the optimization rules construct from base operators.
+//
+// Cost counts elementary base-operator applications per element of the
+// underlying block, exactly as §4 of the paper counts them: a base
+// operator costs 1, op_sr2 costs 3, op_sr costs 4 (with the uu sharing),
+// op_ss costs 8, and so on. Arity is the tuple width the operator consumes
+// (1 for base operators, 2 for op_sr2/op_sr, 4 for op_ss); the virtual
+// machine uses Cost and Arity to charge computation time per combine.
+type Op struct {
+	// Name identifies the operator in printed terms and traces, e.g.
+	// "+", "*", "op_sr2(+,*)".
+	Name string
+	// Cost is the number of elementary operations per block element.
+	Cost int
+	// Arity is the tuple width the operator consumes (1 for scalars/vecs).
+	Arity int
+	// Fn combines two values.
+	Fn func(a, b Value) Value
+	// Unary, if non-nil, is the one-sided case op((), b) that balanced
+	// collectives apply at nodes with an empty left subtree (§3.2) or
+	// at processors without a communication partner (§3.3).
+	Unary func(b Value) Value
+}
+
+// Apply combines a and b, propagating undetermined values: if either side
+// is (or contains) Undef in a way the operator touches, the result is the
+// operator's best effort; fully undetermined operands yield Undef.
+func (o *Op) Apply(a, b Value) Value {
+	if o.Fn == nil {
+		panic(fmt.Sprintf("algebra: operator %q has no implementation", o.Name))
+	}
+	return o.Fn(a, b)
+}
+
+// ApplyUnary applies the one-sided case op((), b). It panics if the
+// operator does not define one.
+func (o *Op) ApplyUnary(b Value) Value {
+	if o.Unary == nil {
+		panic(fmt.Sprintf("algebra: operator %q has no one-sided case", o.Name))
+	}
+	return o.Unary(b)
+}
+
+// Charge is the computation time, in the paper's unit-cost model, of one
+// application of the operator to value a: Cost elementary operations per
+// element of the underlying block of m words. For a tuple of width Arity
+// holding components of m words each, that is Cost·m.
+func (o *Op) Charge(a Value) float64 {
+	w := a.Words()
+	if o.Arity > 1 {
+		w /= o.Arity
+	}
+	return float64(o.Cost) * float64(w)
+}
+
+func (o *Op) String() string { return o.Name }
+
+// lift applies a scalar function elementwise across the supported value
+// shapes, propagating Undef. A Scalar paired with a Vec broadcasts over
+// the vector's elements.
+func lift(name string, f func(x, y float64) float64) func(a, b Value) Value {
+	var apply func(a, b Value) Value
+	apply = func(a, b Value) Value {
+		if IsUndef(a) || IsUndef(b) {
+			return Undef{}
+		}
+		switch x := a.(type) {
+		case Scalar:
+			switch y := b.(type) {
+			case Scalar:
+				return Scalar(f(float64(x), float64(y)))
+			case Vec:
+				out := make(Vec, len(y))
+				for i := range y {
+					out[i] = f(float64(x), y[i])
+				}
+				return out
+			}
+			panic(fmt.Sprintf("algebra: %s applied to mismatched shapes %T and %T", name, a, b))
+		case Vec:
+			switch y := b.(type) {
+			case Scalar:
+				out := make(Vec, len(x))
+				for i := range x {
+					out[i] = f(x[i], float64(y))
+				}
+				return out
+			case Vec:
+				if len(x) != len(y) {
+					panic(fmt.Sprintf("algebra: %s applied to mismatched vectors %s and %s", name, a, b))
+				}
+				out := make(Vec, len(x))
+				for i := range x {
+					out[i] = f(x[i], y[i])
+				}
+				return out
+			}
+			panic(fmt.Sprintf("algebra: %s applied to mismatched shapes %T and %T", name, a, b))
+		case Tuple:
+			y, ok := b.(Tuple)
+			if !ok || len(x) != len(y) {
+				panic(fmt.Sprintf("algebra: %s applied to mismatched tuples %s and %s", name, a, b))
+			}
+			out := make(Tuple, len(x))
+			for i := range x {
+				out[i] = apply(x[i], y[i])
+			}
+			return out
+		}
+		panic(fmt.Sprintf("algebra: %s applied to unsupported value %T", name, a))
+	}
+	return apply
+}
+
+// NewBase constructs a base binary operator applying f elementwise.
+func NewBase(name string, f func(x, y float64) float64) *Op {
+	return &Op{Name: name, Cost: 1, Arity: 1, Fn: lift(name, f)}
+}
+
+// The standard base operators of the paper's examples. Add and Mul are the
+// op1/op2 of program Example; Max and Add form the max/+ (tropical) pair
+// used by the maximum-segment-sum example, where + distributes over max.
+var (
+	// Add is elementwise addition (associative, commutative; unit 0).
+	Add = NewBase("+", func(x, y float64) float64 { return x + y })
+	// Mul is elementwise multiplication (associative, commutative;
+	// unit 1; distributes over Add).
+	Mul = NewBase("*", func(x, y float64) float64 { return x * y })
+	// Max is elementwise maximum (associative, commutative, idempotent).
+	Max = NewBase("max", func(x, y float64) float64 { return math.Max(x, y) })
+	// Min is elementwise minimum (associative, commutative, idempotent).
+	Min = NewBase("min", func(x, y float64) float64 { return math.Min(x, y) })
+	// Left is left projection: Left(a,b) = a. It is associative but not
+	// commutative, and exists so tests can exercise rule conditions
+	// that must reject non-commutative operators.
+	Left = NewBase("left", func(x, _ float64) float64 { return x })
+	// Sub is elementwise subtraction: non-associative, non-commutative;
+	// it exists so tests can exercise condition rejection.
+	Sub = NewBase("-", func(x, y float64) float64 { return x - y })
+)

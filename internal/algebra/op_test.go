@@ -1,0 +1,220 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseOpsOnScalars(t *testing.T) {
+	cases := []struct {
+		op   *Op
+		a, b float64
+		want float64
+	}{
+		{Add, 2, 3, 5},
+		{Mul, 2, 3, 6},
+		{Max, 2, 3, 3},
+		{Min, 2, 3, 2},
+		{Left, 2, 3, 2},
+		{Sub, 2, 3, -1},
+	}
+	for _, c := range cases {
+		got := c.op.Apply(Scalar(c.a), Scalar(c.b))
+		if !Equal(got, Scalar(c.want)) {
+			t.Errorf("%s(%g, %g) = %v, want %g", c.op.Name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBaseOpsOnVectors(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	got := Add.Apply(a, b)
+	if !Equal(got, Vec{5, 7, 9}) {
+		t.Fatalf("Add(%v, %v) = %v", a, b, got)
+	}
+	got = Mul.Apply(a, b)
+	if !Equal(got, Vec{4, 10, 18}) {
+		t.Fatalf("Mul(%v, %v) = %v", a, b, got)
+	}
+}
+
+func TestOpsOnTuplesElementwise(t *testing.T) {
+	a := Tuple{Scalar(1), Scalar(2)}
+	b := Tuple{Scalar(10), Scalar(20)}
+	got := Add.Apply(a, b)
+	if !Equal(got, Tuple{Scalar(11), Scalar(22)}) {
+		t.Fatalf("Add on tuples = %v", got)
+	}
+}
+
+func TestOpsPropagateUndef(t *testing.T) {
+	if got := Add.Apply(Undef{}, Scalar(1)); !IsUndef(got) {
+		t.Fatalf("Add(_, 1) = %v, want _", got)
+	}
+	if got := Mul.Apply(Scalar(1), Undef{}); !IsUndef(got) {
+		t.Fatalf("Mul(1, _) = %v, want _", got)
+	}
+	if got := Add.Apply(Tuple{Scalar(1), Undef{}}, Tuple{Scalar(2), Scalar(3)}); !IsUndef(got) {
+		t.Fatalf("Add on poisoned tuple = %v, want undef", got)
+	}
+}
+
+func TestOpApplyMismatchedShapesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched shapes")
+		}
+	}()
+	Add.Apply(Vec{1, 2}, Vec{1, 2, 3})
+}
+
+func TestOpCharge(t *testing.T) {
+	// A base operator on an m-word vector costs m units.
+	if got := Add.Charge(Vec{1, 2, 3, 4}); got != 4 {
+		t.Fatalf("Add.Charge(4-vec) = %g, want 4", got)
+	}
+	// op_sr2 on a pair of m-word vectors costs 3m units (Table 1).
+	sr2 := OpSR2(Mul, Add)
+	pair := Tuple{Vec{1, 2, 3, 4}, Vec{1, 2, 3, 4}}
+	if got := sr2.Charge(pair); got != 12 {
+		t.Fatalf("op_sr2.Charge(pair of 4-vecs) = %g, want 12", got)
+	}
+}
+
+func TestOpWithoutUnaryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on missing one-sided case")
+		}
+	}()
+	Add.ApplyUnary(Scalar(1))
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	r := Default()
+	for _, op := range []*Op{Add, Mul, Max, Min} {
+		if !r.Associative(op) {
+			t.Errorf("%s should be associative", op.Name)
+		}
+		if !r.Commutative(op) {
+			t.Errorf("%s should be commutative", op.Name)
+		}
+	}
+	if !r.Associative(Left) {
+		t.Error("left should be associative")
+	}
+	if r.Commutative(Left) {
+		t.Error("left must not be commutative")
+	}
+	if r.Associative(Sub) || r.Commutative(Sub) {
+		t.Error("- must be neither associative nor commutative")
+	}
+	if !r.Distributes(Mul, Add) {
+		t.Error("* should distribute over +")
+	}
+	if r.Distributes(Add, Mul) {
+		t.Error("+ must not distribute over *")
+	}
+	if !r.Distributes(Add, Max) {
+		t.Error("+ should distribute over max (tropical semiring)")
+	}
+	if u, ok := r.Unit(Add); !ok || !Equal(u, Scalar(0)) {
+		t.Error("unit of + should be 0")
+	}
+}
+
+// TestProbeDeclaredProperties guards the Default registry declarations by
+// probing each declared property on random samples.
+func TestProbeDeclaredProperties(t *testing.T) {
+	r := Default()
+	rng := rand.New(rand.NewSource(42))
+	var triples [][3]Value
+	var pairs [][2]Value
+	for i := 0; i < 300; i++ {
+		triples = append(triples, [3]Value{
+			Scalar(rng.Intn(19) - 9), Scalar(rng.Intn(19) - 9), Scalar(rng.Intn(19) - 9),
+		})
+		pairs = append(pairs, [2]Value{
+			Scalar(rng.Intn(19) - 9), Scalar(rng.Intn(19) - 9),
+		})
+	}
+	for _, op := range []*Op{Add, Mul, Max, Min, Left} {
+		if err := r.ProbeAssociative(op, triples); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, op := range []*Op{Add, Mul, Max, Min} {
+		if err := r.ProbeCommutative(op, pairs); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, d := range [][2]*Op{{Mul, Add}, {Add, Max}, {Add, Min}, {Max, Min}, {Min, Max}} {
+		if err := r.ProbeDistributes(d[0], d[1], triples); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestProbeCatchesViolations(t *testing.T) {
+	r := Default()
+	samples := [][3]Value{{Scalar(1), Scalar(2), Scalar(3)}}
+	if err := r.ProbeAssociative(Sub, samples); err == nil {
+		t.Error("ProbeAssociative should reject -")
+	}
+	if err := r.ProbeCommutative(Left, [][2]Value{{Scalar(1), Scalar(2)}}); err == nil {
+		t.Error("ProbeCommutative should reject left")
+	}
+	if err := r.ProbeDistributes(Add, Mul, samples); err == nil {
+		t.Error("ProbeDistributes should reject + over *")
+	}
+}
+
+// TestQuickOpSR2Associative verifies the keystone of the *2 rules: op_sr2
+// built from a distributive pair is associative even though op_sr is not.
+func TestQuickOpSR2Associative(t *testing.T) {
+	sr2 := OpSR2(Mul, Add)
+	f := func(a1, b1, a2, b2, a3, b3 int8) bool {
+		x := Tuple{Scalar(a1), Scalar(b1)}
+		y := Tuple{Scalar(a2), Scalar(b2)}
+		z := Tuple{Scalar(a3), Scalar(b3)}
+		l := sr2.Apply(sr2.Apply(x, y), z)
+		r := sr2.Apply(x, sr2.Apply(y, z))
+		return Equal(l, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpSR2TropicalAssociative checks associativity of op_sr2 over
+// the max/+ tropical pair (used by the maximum-segment-sum example).
+func TestQuickOpSR2TropicalAssociative(t *testing.T) {
+	sr2 := OpSR2(Add, Max)
+	f := func(a1, b1, a2, b2, a3, b3 int8) bool {
+		x := Tuple{Scalar(a1), Scalar(b1)}
+		y := Tuple{Scalar(a2), Scalar(b2)}
+		z := Tuple{Scalar(a3), Scalar(b3)}
+		l := sr2.Apply(sr2.Apply(x, y), z)
+		r := sr2.Apply(x, sr2.Apply(y, z))
+		return Equal(l, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpSRNotAssociative documents why SR-Reduction needs the balanced
+// collectives: op_sr is not associative.
+func TestOpSRNotAssociative(t *testing.T) {
+	sr := OpSR(Add)
+	x := Tuple{Scalar(1), Scalar(1)}
+	y := Tuple{Scalar(2), Scalar(2)}
+	z := Tuple{Scalar(3), Scalar(3)}
+	l := sr.Apply(sr.Apply(x, y), z)
+	r := sr.Apply(x, sr.Apply(y, z))
+	if Equal(l, r) {
+		t.Fatalf("op_sr unexpectedly associative on the witness: both sides %v", l)
+	}
+}

@@ -1,0 +1,128 @@
+package algebra
+
+import "fmt"
+
+// Registry records algebraic properties of base operators. The rewrite
+// engine consults it to check rule conditions: associativity (assumed by
+// every collective), commutativity (SR-Reduction, SS-Scan, BSS-Comcast,
+// BSR-Local) and distributivity ⊗ over ⊕ (the *2 rules).
+//
+// Properties are declared, not inferred: they are semantic facts about the
+// operators that a finite check cannot establish. The registry can however
+// Probe a declared property on randomized inputs, which the test-suite
+// uses to guard the declarations themselves.
+type Registry struct {
+	associative map[*Op]bool
+	commutative map[*Op]bool
+	distributes map[[2]*Op]bool // [outer ⊗, inner ⊕]: a⊗(b⊕c) = (a⊗b)⊕(a⊗c)
+	units       map[*Op]Value
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		associative: make(map[*Op]bool),
+		commutative: make(map[*Op]bool),
+		distributes: make(map[[2]*Op]bool),
+		units:       make(map[*Op]Value),
+	}
+}
+
+// Default returns a registry pre-loaded with the properties of the
+// standard base operators:
+//
+//	+, *, max, min  associative and commutative
+//	left            associative only
+//	* distributes over +
+//	+ distributes over max and over min   (the tropical semirings)
+//	max distributes over min, min over max (the distributive lattice)
+func Default() *Registry {
+	r := NewRegistry()
+	for _, op := range []*Op{Add, Mul, Max, Min} {
+		r.DeclareAssociative(op)
+		r.DeclareCommutative(op)
+	}
+	r.DeclareAssociative(Left)
+	r.DeclareAssociative(MatMul)
+	r.DeclareDistributes(Mul, Add)
+	r.DeclareDistributes(Add, Max)
+	r.DeclareDistributes(Add, Min)
+	r.DeclareDistributes(Max, Min)
+	r.DeclareDistributes(Min, Max)
+	r.DeclareUnit(Add, Scalar(0))
+	r.DeclareUnit(Mul, Scalar(1))
+	return r
+}
+
+// DeclareAssociative records that op is associative.
+func (r *Registry) DeclareAssociative(op *Op) { r.associative[op] = true }
+
+// DeclareCommutative records that op is commutative.
+func (r *Registry) DeclareCommutative(op *Op) { r.commutative[op] = true }
+
+// DeclareDistributes records that outer distributes over inner:
+// a outer (b inner c) = (a outer b) inner (a outer c).
+func (r *Registry) DeclareDistributes(outer, inner *Op) {
+	r.distributes[[2]*Op{outer, inner}] = true
+}
+
+// DeclareUnit records the unit (neutral element) of op.
+func (r *Registry) DeclareUnit(op *Op, unit Value) { r.units[op] = unit }
+
+// Associative reports whether op is declared associative.
+func (r *Registry) Associative(op *Op) bool { return r.associative[op] }
+
+// Commutative reports whether op is declared commutative.
+func (r *Registry) Commutative(op *Op) bool { return r.commutative[op] }
+
+// Distributes reports whether outer is declared to distribute over inner.
+func (r *Registry) Distributes(outer, inner *Op) bool {
+	return r.distributes[[2]*Op{outer, inner}]
+}
+
+// Unit returns the declared unit of op, if any.
+func (r *Registry) Unit(op *Op) (Value, bool) {
+	u, ok := r.units[op]
+	return u, ok
+}
+
+// ProbeAssociative checks (a op b) op c == a op (b op c) on the given
+// sample triples, returning an error describing the first counterexample.
+func (r *Registry) ProbeAssociative(op *Op, samples [][3]Value) error {
+	for _, s := range samples {
+		l := op.Apply(op.Apply(s[0], s[1]), s[2])
+		rr := op.Apply(s[0], op.Apply(s[1], s[2]))
+		if !Equal(l, rr) {
+			return fmt.Errorf("algebra: %s not associative at (%s, %s, %s): %s vs %s",
+				op.Name, s[0], s[1], s[2], l, rr)
+		}
+	}
+	return nil
+}
+
+// ProbeCommutative checks a op b == b op a on the given sample pairs.
+func (r *Registry) ProbeCommutative(op *Op, samples [][2]Value) error {
+	for _, s := range samples {
+		l := op.Apply(s[0], s[1])
+		rr := op.Apply(s[1], s[0])
+		if !Equal(l, rr) {
+			return fmt.Errorf("algebra: %s not commutative at (%s, %s): %s vs %s",
+				op.Name, s[0], s[1], l, rr)
+		}
+	}
+	return nil
+}
+
+// ProbeDistributes checks a outer (b inner c) == (a outer b) inner
+// (a outer c) on the given sample triples.
+func (r *Registry) ProbeDistributes(outer, inner *Op, samples [][3]Value) error {
+	for _, s := range samples {
+		l := outer.Apply(s[0], inner.Apply(s[1], s[2]))
+		rr := inner.Apply(outer.Apply(s[0], s[1]), outer.Apply(s[0], s[2]))
+		if !Equal(l, rr) {
+			return fmt.Errorf("algebra: %s does not distribute over %s at (%s, %s, %s): %s vs %s",
+				outer.Name, inner.Name, s[0], s[1], s[2], l, rr)
+		}
+	}
+	return nil
+}

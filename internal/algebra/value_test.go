@@ -1,0 +1,181 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarWords(t *testing.T) {
+	if got := Scalar(3).Words(); got != 1 {
+		t.Fatalf("Scalar.Words() = %d, want 1", got)
+	}
+}
+
+func TestVecWords(t *testing.T) {
+	v := Vec{1, 2, 3, 4, 5}
+	if got := v.Words(); got != 5 {
+		t.Fatalf("Vec.Words() = %d, want 5", got)
+	}
+}
+
+func TestTupleWords(t *testing.T) {
+	tu := Tuple{Vec{1, 2, 3}, Vec{4, 5, 6}}
+	if got := tu.Words(); got != 6 {
+		t.Fatalf("Tuple.Words() = %d, want 6", got)
+	}
+}
+
+func TestUndefWords(t *testing.T) {
+	if got := (Undef{}).Words(); got != 0 {
+		t.Fatalf("Undef.Words() = %d, want 0", got)
+	}
+}
+
+func TestVecClone(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original vector")
+	}
+}
+
+func TestPairTripleQuadruple(t *testing.T) {
+	a := Scalar(7)
+	if p := Pair(a).(Tuple); len(p) != 2 || p[0] != a || p[1] != a {
+		t.Fatalf("Pair(%v) = %v", a, p)
+	}
+	if p := Triple(a).(Tuple); len(p) != 3 || p[2] != a {
+		t.Fatalf("Triple(%v) = %v", a, p)
+	}
+	if p := Quadruple(a).(Tuple); len(p) != 4 || p[3] != a {
+		t.Fatalf("Quadruple(%v) = %v", a, p)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if got := First(Tuple{Scalar(1), Scalar(2)}); !Equal(got, Scalar(1)) {
+		t.Fatalf("First(pair) = %v, want 1", got)
+	}
+	if got := First(Tuple{Scalar(9), Scalar(2), Scalar(3), Scalar(4)}); !Equal(got, Scalar(9)) {
+		t.Fatalf("First(quadruple) = %v, want 9", got)
+	}
+	// π₁ on a non-tuple is the identity.
+	if got := First(Scalar(5)); !Equal(got, Scalar(5)) {
+		t.Fatalf("First(scalar) = %v, want 5", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Scalar(1), Scalar(1), true},
+		{Scalar(1), Scalar(2), false},
+		{Vec{1, 2}, Vec{1, 2}, true},
+		{Vec{1, 2}, Vec{1, 3}, false},
+		{Vec{1, 2}, Vec{1, 2, 3}, false},
+		{Vec{1}, Scalar(1), false},
+		{Tuple{Scalar(1), Scalar(2)}, Tuple{Scalar(1), Scalar(2)}, true},
+		{Tuple{Scalar(1), Scalar(2)}, Tuple{Scalar(1), Scalar(3)}, false},
+		{Tuple{Scalar(1)}, Tuple{Scalar(1), Scalar(1)}, false},
+		{Undef{}, Undef{}, true},
+		{Undef{}, Scalar(0), false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualModuloUndef(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Undef{}, Scalar(5), true},
+		{Scalar(5), Undef{}, true},
+		{Tuple{Scalar(1), Undef{}}, Tuple{Scalar(1), Scalar(7)}, true},
+		{Tuple{Scalar(2), Undef{}}, Tuple{Scalar(1), Scalar(7)}, false},
+		{Tuple{Undef{}, Undef{}}, Tuple{Scalar(1), Scalar(7)}, true},
+		{Scalar(1), Scalar(1), true},
+		{Scalar(1), Scalar(2), false},
+	}
+	for _, c := range cases {
+		if got := EqualModuloUndef(c.a, c.b); got != c.want {
+			t.Errorf("EqualModuloUndef(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsUndef(t *testing.T) {
+	if !IsUndef(Undef{}) {
+		t.Error("IsUndef(Undef{}) = false")
+	}
+	if !IsUndef(Tuple{Scalar(1), Undef{}}) {
+		t.Error("IsUndef(tuple with undef) = false")
+	}
+	if IsUndef(Tuple{Scalar(1), Scalar(2)}) {
+		t.Error("IsUndef(clean tuple) = true")
+	}
+	if IsUndef(Scalar(0)) {
+		t.Error("IsUndef(scalar) = true")
+	}
+}
+
+func TestEqualLists(t *testing.T) {
+	a := []Value{Scalar(1), Scalar(2)}
+	b := []Value{Scalar(1), Scalar(2)}
+	if !EqualLists(a, b) {
+		t.Error("EqualLists on equal lists = false")
+	}
+	if EqualLists(a, b[:1]) {
+		t.Error("EqualLists on different lengths = true")
+	}
+	c := []Value{Scalar(1), Undef{}}
+	if EqualLists(a, c) {
+		t.Error("EqualLists should not ignore Undef")
+	}
+	if !EqualListsModuloUndef(a, c) {
+		t.Error("EqualListsModuloUndef should ignore Undef")
+	}
+}
+
+// randomVec produces small integral vectors: integral float64 arithmetic
+// is exact, so equality checks are meaningful.
+func randomVec(r *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = float64(r.Intn(21) - 10)
+	}
+	return v
+}
+
+func TestQuickPairFirstIdentity(t *testing.T) {
+	f := func(x int16) bool {
+		s := Scalar(x)
+		return Equal(First(Pair(s)), s) &&
+			Equal(First(Triple(s)), s) &&
+			Equal(First(Quadruple(s)), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualReflexiveSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Tuple{randomVec(r, 4), randomVec(r, 4)}
+		b := Tuple{randomVec(r, 4), randomVec(r, 4)}
+		if !Equal(a, a) {
+			t.Fatalf("Equal not reflexive on %v", a)
+		}
+		if Equal(a, b) != Equal(b, a) {
+			t.Fatalf("Equal not symmetric on %v, %v", a, b)
+		}
+	}
+}

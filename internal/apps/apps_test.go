@@ -1,0 +1,378 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+)
+
+var testMach = Machine{P: 8, Ts: 100, Tw: 1}
+
+func randSeq(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(41) - 20)
+	}
+	return out
+}
+
+func TestChunkCoversEverything(t *testing.T) {
+	xs := make([]float64, 23)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	blocks := chunk(xs, 5)
+	if len(blocks) != 5 {
+		t.Fatalf("%d blocks", len(blocks))
+	}
+	var flat []float64
+	for _, b := range blocks {
+		flat = append(flat, b...)
+	}
+	if len(flat) != 23 {
+		t.Fatalf("flattened %d elements", len(flat))
+	}
+	for i, x := range flat {
+		if x != float64(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	// Sizes differ by at most one.
+	for _, b := range blocks {
+		if len(b) < 4 || len(b) > 5 {
+			t.Fatalf("uneven chunk of %d", len(b))
+		}
+	}
+}
+
+func TestMSSKnownCases(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 6},
+		{[]float64{-1, -2, -3}, -1},
+		{[]float64{2, -1, 2}, 3},
+		{[]float64{31, -41, 59, 26, -53, 58, 97, -93, -23, 84}, 187}, // Bentley's classic
+		{[]float64{-2, 1, -3, 4, -1, 2, 1, -5, 4}, 6},
+		{[]float64{5}, 5},
+	}
+	for _, c := range cases {
+		got, _ := MSS(testMach, c.xs)
+		if got != c.want {
+			t.Errorf("MSS(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMSSMatchesSequentialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := randSeq(rng, n)
+		for _, p := range []int{1, 2, 3, 5, 8, 16} {
+			mach := Machine{P: p, Ts: 10, Tw: 1}
+			got, _ := MSS(mach, xs)
+			want := SeqMSS(xs)
+			if got != want {
+				t.Fatalf("trial %d p=%d: MSS = %g, want %g (xs %v)", trial, p, got, want, xs)
+			}
+		}
+	}
+}
+
+func TestQuickMSSAgainstReference(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		got, _ := MSS(Machine{P: 4, Ts: 1, Tw: 1}, xs)
+		return got == SeqMSS(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	st, res := Statistics(testMach, xs)
+	if st.N != 8 || st.Sum != 40 || st.Mean != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Variance != 4 { // the textbook example
+		t.Fatalf("variance = %g, want 4", st.Variance)
+	}
+	if st.Min != 2 || st.Max != 9 {
+		t.Fatalf("min/max = %g/%g", st.Min, st.Max)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no cost charged")
+	}
+}
+
+func TestStatisticsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 40; trial++ {
+		xs := randSeq(rng, 1+rng.Intn(200))
+		for _, p := range []int{1, 3, 8, 13} {
+			st, _ := Statistics(Machine{P: p, Ts: 5, Tw: 1}, xs)
+			n := float64(len(xs))
+			sum, sq := 0.0, 0.0
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, x := range xs {
+				sum += x
+				sq += x * x
+				mn = math.Min(mn, x)
+				mx = math.Max(mx, x)
+			}
+			if st.N != len(xs) || st.Sum != sum || st.Min != mn || st.Max != mx {
+				t.Fatalf("p=%d: stats = %+v", p, st)
+			}
+			wantVar := sq/n - (sum/n)*(sum/n)
+			if math.Abs(st.Variance-wantVar) > 1e-9 {
+				t.Fatalf("p=%d: variance = %g, want %g", p, st.Variance, wantVar)
+			}
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.9, -5, 99}
+	counts, _ := Histogram(testMach, xs, 0, 4, 4)
+	// Bins [0,1) [1,2) [2,3) [3,4); -5 clamps low, 99 clamps high.
+	want := []int{3, 2, 2, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHistogramTotalMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	xs := randSeq(rng, 500)
+	counts, _ := Histogram(Machine{P: 7, Ts: 3, Tw: 1}, xs, -20, 21, 10)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 500 {
+		t.Fatalf("histogram mass = %d, want 500", total)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Histogram(testMach, []float64{1}, 5, 5, 3)
+}
+
+func TestSampleSortSmall(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	blocks, _ := SampleSort(Machine{P: 4, Ts: 10, Tw: 1}, xs)
+	if !IsGloballySorted(blocks) {
+		t.Fatalf("not sorted: %v", blocks)
+	}
+	var flat []float64
+	for _, b := range blocks {
+		flat = append(flat, b...)
+	}
+	if len(flat) != len(xs) {
+		t.Fatalf("lost elements: %v", blocks)
+	}
+	for i, x := range flat {
+		if x != float64(i) {
+			t.Fatalf("flat = %v", flat)
+		}
+	}
+}
+
+func TestSampleSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := randSeq(rng, n)
+		for _, p := range []int{1, 2, 4, 6, 8} {
+			blocks, _ := SampleSort(Machine{P: p, Ts: 5, Tw: 1}, xs)
+			if !IsGloballySorted(blocks) {
+				t.Fatalf("trial %d p=%d: not globally sorted", trial, p)
+			}
+			var flat []float64
+			for _, b := range blocks {
+				flat = append(flat, b...)
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			if len(flat) != len(want) {
+				t.Fatalf("trial %d p=%d: %d elements, want %d", trial, p, len(flat), len(want))
+			}
+			for i := range want {
+				if flat[i] != want[i] {
+					t.Fatalf("trial %d p=%d: position %d = %g, want %g", trial, p, i, flat[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSampleSortWithDuplicates(t *testing.T) {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i % 4) // heavy duplication stresses splitters
+	}
+	blocks, _ := SampleSort(Machine{P: 8, Ts: 5, Tw: 1}, xs)
+	if !IsGloballySorted(blocks) {
+		t.Fatalf("duplicates broke sorting: %v", blocks)
+	}
+}
+
+func TestSampleSortFewerElementsThanProcessors(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	blocks, _ := SampleSort(Machine{P: 8, Ts: 5, Tw: 1}, xs)
+	if !IsGloballySorted(blocks) {
+		t.Fatalf("short input: %v", blocks)
+	}
+	var flat []float64
+	for _, b := range blocks {
+		flat = append(flat, b...)
+	}
+	if len(flat) != 3 {
+		t.Fatalf("lost elements: %v", blocks)
+	}
+}
+
+func TestIsGloballySorted(t *testing.T) {
+	if !IsGloballySorted([][]float64{{1, 2}, {}, {2, 3}}) {
+		t.Error("sorted blocks rejected")
+	}
+	if IsGloballySorted([][]float64{{1, 2}, {0}}) {
+		t.Error("unsorted blocks accepted")
+	}
+}
+
+func TestNlogn(t *testing.T) {
+	if nlogn(0) != 0 || nlogn(1) != 1 {
+		t.Error("tiny cases")
+	}
+	if nlogn(8) != 24 { // 8·3
+		t.Errorf("nlogn(8) = %g", nlogn(8))
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	a := algebra.NewMat(3, 3,
+		1, 0, 0,
+		0, 2, 0,
+		0, 0, 3)
+	x := algebra.Vec{4, 5, 6}
+	got, res := MatVec(Machine{P: 3, Ts: 5, Tw: 1}, a, x)
+	if !algebra.Equal(got, algebra.Vec{4, 10, 18}) {
+		t.Fatalf("MatVec = %v", got)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no cost charged")
+	}
+}
+
+func TestMatVecMatchesReferenceAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for _, n := range []int{1, 3, 7, 16, 20} {
+		for _, p := range []int{1, 2, 4, 5, 8} {
+			if p > n {
+				continue
+			}
+			data := make([]float64, n*n)
+			for i := range data {
+				data[i] = float64(rng.Intn(9) - 4)
+			}
+			a := algebra.NewMat(n, n, data...)
+			x := make(algebra.Vec, n)
+			for i := range x {
+				x[i] = float64(rng.Intn(9) - 4)
+			}
+			got, _ := MatVec(Machine{P: p, Ts: 3, Tw: 1}, a, x)
+			want := a.MulVec(x)
+			if !algebra.Equal(got, want) {
+				t.Fatalf("n=%d p=%d: MatVec = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMatVecValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatVec(Machine{P: 2, Ts: 1, Tw: 1}, algebra.NewMat(2, 2, 1, 2, 3, 4), algebra.Vec{1})
+}
+
+func TestSegmentedScanKnown(t *testing.T) {
+	flags := []bool{true, false, false, true, false, true, false, false}
+	vals := []float64{3, 4, 5, 10, 1, 7, 7, 7}
+	want := []float64{3, 7, 12, 10, 11, 7, 14, 21}
+	got, _ := SegmentedScan(Machine{P: 3, Ts: 5, Tw: 1}, flags, vals)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segmented scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentedScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(120)
+		flags := make([]bool, n)
+		vals := make([]float64, n)
+		for i := range vals {
+			flags[i] = rng.Intn(4) == 0
+			vals[i] = float64(rng.Intn(9) - 4)
+		}
+		flags[0] = rng.Intn(2) == 0 // both leading-flag cases
+		for _, p := range []int{1, 2, 3, 5, 8, 13} {
+			got, _ := SegmentedScan(Machine{P: p, Ts: 2, Tw: 1}, flags, vals)
+			want := SeqSegmentedScan(flags, vals)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d p=%d pos %d: %g, want %g\nflags %v\nvals %v",
+						trial, p, i, got[i], want[i], flags, vals)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentedScanNoFlagsIsPlainScan(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	flags := make([]bool, 6)
+	got, _ := SegmentedScan(Machine{P: 4, Ts: 2, Tw: 1}, flags, vals)
+	want := []float64{1, 3, 6, 10, 15, 21}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentedScanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SegmentedScan(Machine{P: 2, Ts: 1, Tw: 1}, []bool{true}, []float64{1, 2})
+}

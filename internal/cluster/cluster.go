@@ -1,0 +1,232 @@
+// Package cluster extends the flat machine model to clusters of SMPs —
+// the setting of the SIMPLE methodology the paper cites ([3]) and of its
+// remark that "multithreaded computations in the symmetric multiprocessor
+// nodes of clusters of SMPs can be expressed by introducing one more
+// level of parallelism: map (map f) instead of map f" (§2.2).
+//
+// A cluster has Nodes × Cores processors; links inside a node are cheap
+// (Intra parameters), links between nodes expensive (Inter parameters).
+// The hierarchical collectives exploit the two levels: an operation first
+// runs inside each node, then once across node leaders, then fans back —
+// replacing log(n·c) expensive start-ups by log n expensive plus log c
+// cheap ones. The subgroup communicators of package coll (Sub) do the
+// rank bookkeeping.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/coll"
+	"repro/internal/machine"
+)
+
+// Placement maps global ranks onto nodes.
+type Placement int
+
+// Placement choices.
+const (
+	// Block places ranks [n·Cores, (n+1)·Cores) on node n — the layout
+	// under which flat rank-aligned algorithms (binomial, butterfly)
+	// are accidentally hierarchical already.
+	Block Placement = iota
+	// Cyclic places rank r on node r mod Nodes — the adversarial
+	// layout (round-robin schedulers produce it) under which flat
+	// algorithms cross the expensive interconnect in every phase and
+	// placement-aware hierarchical collectives win decisively.
+	Cyclic
+)
+
+// Topology describes a cluster of SMP nodes.
+type Topology struct {
+	// Nodes is the number of SMP nodes.
+	Nodes int
+	// Cores is the number of processors per node.
+	Cores int
+	// Intra are the link parameters inside a node.
+	Intra machine.Params
+	// Inter are the link parameters between nodes.
+	Inter machine.Params
+	// Placement maps ranks to nodes (default Block).
+	Placement Placement
+}
+
+// P is the total processor count.
+func (t Topology) P() int { return t.Nodes * t.Cores }
+
+// Node returns the node a global rank lives on.
+func (t Topology) Node(rank int) int {
+	if t.Placement == Cyclic {
+		return rank % t.Nodes
+	}
+	return rank / t.Cores
+}
+
+// nodeMembers lists the global ranks on a node, in rank order.
+func (t Topology) nodeMembers(node int) []int {
+	out := make([]int, t.Cores)
+	for i := range out {
+		if t.Placement == Cyclic {
+			out[i] = node + i*t.Nodes
+		} else {
+			out[i] = node*t.Cores + i
+		}
+	}
+	return out
+}
+
+// Machine builds the virtual machine with the two-level link costs.
+func (t Topology) Machine() *machine.Machine {
+	if t.Nodes < 1 || t.Cores < 1 {
+		panic(fmt.Sprintf("cluster: bad topology %d×%d", t.Nodes, t.Cores))
+	}
+	m := machine.New(t.P(), t.Inter)
+	m.LinkCost = func(src, dst int) machine.Params {
+		if t.Node(src) == t.Node(dst) {
+			return t.Intra
+		}
+		return t.Inter
+	}
+	return m
+}
+
+// Comms bundles the three communicators hierarchical collectives use.
+type Comms struct {
+	// World spans the whole cluster.
+	World coll.Comm
+	// Node spans the caller's SMP node.
+	Node coll.Comm
+	// Leaders spans the first core of every node; nil on non-leader
+	// processors.
+	Leaders coll.Comm
+}
+
+// CommsFor builds the communicator bundle for a processor. Every
+// processor must call it (collectively) before using the hierarchical
+// collectives. The node leader is the node's lowest global rank.
+//
+// Under Cyclic placement the hierarchical Reduce/AllReduce do not combine
+// in global rank order (node members are not rank-contiguous), so they
+// require a commutative operator there; Scan additionally requires Block
+// placement, because prefixes are only decomposable over contiguous
+// ranges.
+func CommsFor(t Topology, p *machine.Proc) Comms {
+	w := coll.World(p)
+	node := t.Node(p.Rank())
+	nodeRanks := t.nodeMembers(node)
+	cs := Comms{World: w, Node: coll.Sub(w, nodeRanks)}
+	if p.Rank() == nodeRanks[0] {
+		leaderRanks := make([]int, t.Nodes)
+		for i := range leaderRanks {
+			leaderRanks[i] = t.nodeMembers(i)[0]
+		}
+		cs.Leaders = coll.Sub(w, leaderRanks)
+	}
+	return cs
+}
+
+// Bcast broadcasts global rank 0's value hierarchically: across the node
+// leaders first (log n expensive transfers), then inside each node
+// (log c cheap ones) — versus log(n·c) expensive transfers for the flat
+// binomial tree.
+func Bcast(cs Comms, x coll.Value) coll.Value {
+	v := x
+	if cs.Leaders != nil {
+		v = coll.Bcast(cs.Leaders, 0, v)
+	}
+	return coll.Bcast(cs.Node, 0, v)
+}
+
+// Reduce combines all processors' values onto global rank 0: inside each
+// node first, then across leaders. The operator must be associative;
+// rank-ordered combining is preserved because node rank ranges are
+// contiguous.
+func Reduce(cs Comms, op *algebra.Op, x coll.Value) coll.Value {
+	v := coll.Reduce(cs.Node, 0, op, x)
+	if cs.Leaders != nil {
+		return coll.Reduce(cs.Leaders, 0, op, v)
+	}
+	return v
+}
+
+// AllReduce delivers the combined value to every processor: node-level
+// reduction, leader butterfly, node-level broadcast.
+func AllReduce(cs Comms, op *algebra.Op, x coll.Value) coll.Value {
+	v := coll.Reduce(cs.Node, 0, op, x)
+	if cs.Leaders != nil {
+		v = coll.AllReduce(cs.Leaders, op, v)
+	}
+	return coll.Bcast(cs.Node, 0, v)
+}
+
+// Scan computes the global inclusive prefix hierarchically:
+//
+//  1. each node scans locally (cheap links);
+//  2. the node leaders, holding nothing yet, receive their node's total
+//     from the node's last core and scan those totals (expensive links);
+//  3. each leader passes the prefix of all *preceding* nodes back into
+//     its node, where it is combined with the local prefixes.
+//
+// The exclusive offset for node k is the leaders' inclusive scan at node
+// k−1, obtained by shifting among leaders — no inverses required.
+func Scan(cs Comms, t Topology, p *machine.Proc, op *algebra.Op, x coll.Value) coll.Value {
+	if t.Placement != Block {
+		panic("cluster: hierarchical Scan requires Block placement (prefixes need contiguous ranges)")
+	}
+	tag := p.NextTag()
+	local := coll.Scan(cs.Node, op, x)
+
+	node := t.Node(p.Rank())
+	leaderRank := node * t.Cores
+	lastRank := leaderRank + t.Cores - 1
+
+	// Step 2: the node total lives on the last core (its inclusive
+	// prefix); ship it to the leader unless they coincide.
+	var total coll.Value
+	if t.Cores == 1 {
+		total = local
+	} else {
+		switch p.Rank() {
+		case lastRank:
+			p.Send(leaderRank, local, local.Words(), tag)
+		case leaderRank:
+			total = p.Recv(lastRank, tag).(coll.Value)
+		}
+	}
+
+	// Leaders scan node totals, then shift the inclusive results one
+	// node to the right: node k's offset is node k−1's inclusive total.
+	var offset coll.Value // nil on node 0: no preceding nodes
+	if cs.Leaders != nil {
+		incl := coll.Scan(cs.Leaders, op, total)
+		shiftTag := p.NextTag()
+		if node+1 < t.Nodes {
+			next := (node + 1) * t.Cores
+			p.Send(next, incl, incl.Words(), shiftTag)
+		}
+		if node > 0 {
+			prev := (node - 1) * t.Cores
+			offset = p.Recv(prev, shiftTag).(coll.Value)
+		}
+	} else {
+		// Non-leaders must burn the same tag to stay synchronized.
+		p.NextTag()
+	}
+
+	// Step 3: broadcast the offset within the node and combine.
+	var off coll.Value
+	if cs.Leaders != nil {
+		if offset == nil {
+			off = algebra.Undef{}
+		} else {
+			off = offset
+		}
+	}
+	off = coll.Bcast(cs.Node, 0, off)
+	if algebra.IsUndef(off) {
+		return local
+	}
+	res := op.Apply(off, local)
+	p.Compute(op.Charge(res))
+	return res
+}

@@ -1,0 +1,124 @@
+package coll
+
+import (
+	"repro/internal/algebra"
+)
+
+// ReduceBalanced combines the group's values on the balanced binary tree
+// of §3.2 (Figure 4): every leaf at the same depth ceil(log2 p), and the
+// right subtree of every node complete whenever the left subtree is
+// non-empty. This shape is exactly what makes the non-associative derived
+// operator op_sr correct — the operator's u component carries the segment
+// sum weighted by 2^level, and combining is sound only when the right
+// operand covers a complete power-of-two segment.
+//
+// Nodes with an empty left subtree apply the operator's one-sided case
+// op((), v) locally (no communication). The result lands on rank 0;
+// other members return their input unchanged, mirroring reduce's list
+// semantics.
+func ReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
+	tag := c.NextTag()
+	n := c.Size()
+	v := reduceBalNode(c, op, 0, n, log2Ceil(n), x, tag)
+	if c.Rank() == 0 {
+		return v
+	}
+	return x
+}
+
+// reduceBalNode executes the subtree over ranks [lo,hi) at height h.
+// Every rank in the span participates; the subtree's value is returned on
+// the representative (the lowest rank, lo) and is unspecified on the
+// others.
+func reduceBalNode(c Comm, op *algebra.Op, lo, hi, h int, v Value, tag int) Value {
+	if h == 0 {
+		return v
+	}
+	n := hi - lo
+	half := 1 << (h - 1)
+	if n <= half {
+		// Empty left subtree: the node passes the (complete or
+		// recursively built) right subtree's value through the
+		// one-sided case.
+		v = reduceBalNode(c, op, lo, hi, h-1, v, tag)
+		if c.Rank() == lo {
+			v = op.ApplyUnary(v)
+			c.Compute(op.Charge(v))
+		}
+		return v
+	}
+	mid := hi - half // right subtree covers [mid, hi) and is complete
+	if c.Rank() < mid {
+		v = reduceBalNode(c, op, lo, mid, h-1, v, tag)
+		if c.Rank() == lo {
+			right := recvValue(c, mid, tag)
+			v = op.Apply(v, right)
+			c.Compute(op.Charge(v))
+		}
+	} else {
+		v = reduceBalNode(c, op, mid, hi, h-1, v, tag)
+		if c.Rank() == mid {
+			c.Send(lo, v, tag)
+		}
+	}
+	return v
+}
+
+// AllReduceBalanced extends the balanced reduction to all members. On a
+// power-of-two group it is the butterfly the paper sketches at the end of
+// §3.2: in phase k the 2^k-segment partners exchange values and both
+// combine in rank order, which is sound for op_sr because every butterfly
+// segment is complete. On other group sizes it falls back to the balanced
+// tree followed by a broadcast (the generalized butterfly the paper
+// leaves open).
+func AllReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
+	n := c.Size()
+	if !IsPow2(n) {
+		v := ReduceBalanced(c, op, x)
+		return Bcast(c, 0, v)
+	}
+	tag := c.NextTag()
+	v := x
+	for k := 0; k < log2Ceil(n); k++ {
+		partner := c.Rank() ^ (1 << k)
+		recv := c.Exchange(partner, v, tag)
+		if partner < c.Rank() {
+			v = op.Apply(recv, v)
+		} else {
+			v = op.Apply(v, recv)
+		}
+		c.Compute(op.Charge(v))
+	}
+	return v
+}
+
+// ScanBalanced runs the balanced scan of §3.3 (Figure 5) with a
+// BalancedScanOp such as op_ss: ceil(log2 p) butterfly phases; in each
+// phase partners exchange the operator's shipped projection and the
+// lower/higher partner applies its side of the node operation. Members
+// whose partner does not exist (group size not a power of two) keep their
+// first component and poison the rest — the paper proves, and the
+// implementation preserves, that poisoned components are never consumed.
+func ScanBalanced(c Comm, op *algebra.BalancedScanOp, x Value) Value {
+	tag := c.NextTag()
+	n := c.Size()
+	v := x
+	m := float64(x.Words()) / float64(op.Arity)
+	for k := 0; k < log2Ceil(n); k++ {
+		partner := c.Rank() ^ (1 << k)
+		if partner >= n {
+			v = op.Solo(v)
+			continue
+		}
+		ship := op.Ship(v)
+		recv := c.Exchange(partner, ship, tag)
+		if partner > c.Rank() {
+			v = op.Lo(v, recv)
+			c.Compute(float64(op.CostLo) * m)
+		} else {
+			v = op.Hi(v, recv)
+			c.Compute(float64(op.CostHi) * m)
+		}
+	}
+	return v
+}

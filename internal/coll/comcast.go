@@ -1,0 +1,62 @@
+package coll
+
+import (
+	"repro/internal/algebra"
+)
+
+// BcastRepeat implements the comcast pattern — rank i receives g^i(b) for
+// the root's datum b — the way the Comcast rules of §3.4 do: broadcast b,
+// then every member locally runs the logarithmic repeat schema (equation
+// (14)) over the binary digits of its rank, applying the rule's e/o step
+// pair, and projects the first component. Despite the redundant
+// computation (all members rerun the low digits), this is the faster
+// implementation: time log p · (ts + m·tw) for the broadcast plus at most
+// log p · costO · m local work, with no extra start-ups.
+func BcastRepeat(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
+	v := Bcast(c, root, b)
+	m := v.Words()
+	w := ops.Prepare(v)
+	k := (c.Rank() - root + c.Size()) % c.Size()
+	w = ops.Repeat(k, w)
+	c.Compute(ops.RepeatCharge(k, m))
+	return algebra.First(w)
+}
+
+// Comcast implements the same pattern with the cost-optimal doubling
+// scheme the paper discusses (and measures as "comcast" in Figures 7 and
+// 8): instead of broadcasting b, rank 0 computes e and o on its working
+// tuple and ships the o result to rank 1; the step then repeats with two
+// members, four, and so on. Total work is optimal — every g^i(b) is
+// computed once — but each of the log p rounds ships a whole working
+// tuple (Arity·m words) and performs both e and o on the critical path,
+// which is why the paper finds it slower than BcastRepeat.
+func Comcast(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
+	tag := c.NextTag()
+	n := c.Size()
+	vrank := (c.Rank() - root + n) % n
+	m := b.Words()
+	var w Value
+	if vrank == 0 {
+		w = ops.Prepare(b)
+	}
+	for k := 0; k < log2Ceil(n); k++ {
+		bit := 1 << k
+		switch {
+		case vrank < bit:
+			// This member holds g^vrank; spawn g^(vrank+2^k) at the
+			// doubled partner, then advance the own state with e.
+			if vrank+bit < n {
+				spawned := ops.O(w)
+				c.Compute(float64(ops.CostO) * float64(m))
+				dst := (vrank + bit + root) % n
+				c.Send(dst, spawned, tag)
+			}
+			w = ops.E(w)
+			c.Compute(float64(ops.CostE) * float64(m))
+		case vrank < bit<<1:
+			src := (vrank - bit + root) % n
+			w = recvValue(c, src, tag)
+		}
+	}
+	return algebra.First(w)
+}

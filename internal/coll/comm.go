@@ -1,0 +1,156 @@
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Comm is the communication context a collective operation runs in — the
+// MPI communicator of the paper's notation (§2.2 assumes one group and
+// omits comm; this layer supplies the general case). A Comm names a group
+// of processors, gives the caller its rank within the group, and carries
+// its own tag sequence so that collectives on different groups never
+// cross-talk.
+type Comm interface {
+	// Rank is the caller's rank within this group.
+	Rank() int
+	// Size is the number of group members.
+	Size() int
+	// Send ships v to group rank dst.
+	Send(dst int, v Value, tag int)
+	// Recv receives the next tagged message from group rank src.
+	Recv(src, tag int) Value
+	// Exchange performs the simultaneous bidirectional swap with the
+	// group rank partner.
+	Exchange(partner int, v Value, tag int) Value
+	// Compute charges local computation time.
+	Compute(n float64)
+	// NextTag returns a fresh tag, synchronized across the group.
+	NextTag() int
+}
+
+// world adapts a machine processor to the full-machine communicator.
+type world struct {
+	p      *machine.Proc
+	tagseq int
+}
+
+// World returns the communicator spanning all processors of the machine,
+// the analogue of MPI_COMM_WORLD. Each processor must create its own via
+// this call inside the SPMD body.
+func World(p *machine.Proc) Comm { return &world{p: p} }
+
+func (w *world) Rank() int { return w.p.Rank() }
+func (w *world) Size() int { return w.p.P() }
+
+func (w *world) Send(dst int, v Value, tag int) {
+	w.p.Send(dst, v, v.Words(), tag)
+}
+
+func (w *world) Recv(src, tag int) Value {
+	raw := w.p.Recv(src, tag)
+	if raw == nil {
+		return nil
+	}
+	return raw.(Value)
+}
+
+func (w *world) Exchange(partner int, v Value, tag int) Value {
+	return w.p.SendRecv(partner, v, v.Words(), tag).(Value)
+}
+
+func (w *world) Compute(n float64) { w.p.Compute(n) }
+
+func (w *world) NextTag() int {
+	w.tagseq++
+	return w.tagseq
+}
+
+// sub is a subgroup communicator: group rank i maps to parent rank
+// ranks[i].
+type sub struct {
+	parent Comm
+	ranks  []int
+	rank   int
+	tagseq int
+}
+
+// Sub builds the subgroup of parent consisting of the given parent ranks
+// (which must be distinct and include the caller). Every listed member
+// must call Sub with the same rank list; the caller's group rank is its
+// index in the list.
+func Sub(parent Comm, ranks []int) Comm {
+	seen := make(map[int]bool, len(ranks))
+	me := -1
+	for i, r := range ranks {
+		if r < 0 || r >= parent.Size() {
+			panic(fmt.Sprintf("coll: Sub rank %d out of range [0,%d)", r, parent.Size()))
+		}
+		if seen[r] {
+			panic(fmt.Sprintf("coll: Sub rank %d listed twice", r))
+		}
+		seen[r] = true
+		if r == parent.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("coll: caller rank %d not in subgroup %v", parent.Rank(), ranks))
+	}
+	return &sub{parent: parent, ranks: append([]int(nil), ranks...), rank: me}
+}
+
+func (s *sub) Rank() int { return s.rank }
+func (s *sub) Size() int { return len(s.ranks) }
+
+func (s *sub) Send(dst int, v Value, tag int) {
+	s.parent.Send(s.ranks[dst], v, tag)
+}
+
+func (s *sub) Recv(src, tag int) Value {
+	return s.parent.Recv(s.ranks[src], tag)
+}
+
+func (s *sub) Exchange(partner int, v Value, tag int) Value {
+	return s.parent.Exchange(s.ranks[partner], v, tag)
+}
+
+func (s *sub) Compute(n float64) { s.parent.Compute(n) }
+
+func (s *sub) NextTag() int {
+	s.tagseq++
+	// Offset subgroup tags so a sloppy caller mixing parent and
+	// subgroup collectives gets a tag-mismatch panic instead of silent
+	// cross-talk.
+	return 1<<20 + s.tagseq
+}
+
+// Split partitions the communicator by color, MPI_Comm_split-style: every
+// member calls Split with its color and key; members with equal color
+// form a new group, ordered by (key, parent rank). The implementation
+// allgathers the (color, key) pairs and builds the subgroup
+// deterministically, so all members agree without further communication.
+func Split(c Comm, color, key int) Comm {
+	type entry struct{ rank, color, key int }
+	pairs := AllGather(c, pairValue(color, key))
+	entries := make([]entry, 0, len(pairs))
+	for r, pv := range pairs {
+		col, k := pairFields(pv)
+		if col == color {
+			entries = append(entries, entry{rank: r, color: col, key: k})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].rank < entries[j].rank
+	})
+	ranks := make([]int, len(entries))
+	for i, e := range entries {
+		ranks[i] = e.rank
+	}
+	return Sub(c, ranks)
+}

@@ -1,0 +1,156 @@
+package coll
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// valueList is an ordered slice of per-processor values shipped as one
+// message; it is itself a Value whose word count is the sum of its
+// members'.
+type valueList []Value
+
+// Words sums the members' word counts.
+func (l valueList) Words() int {
+	n := 0
+	for _, v := range l {
+		n += v.Words()
+	}
+	return n
+}
+
+func (l valueList) String() string {
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.String()
+	}
+	return "list[" + strings.Join(parts, " ") + "]"
+}
+
+// Gather collects every member's value on the root, in rank order, using
+// the mirrored binomial tree: rank r contributes x_r and the root returns
+// [x_0, …, x_{p-1}]; every other member returns nil.
+func Gather(c Comm, root int, x Value) []Value {
+	tag := c.NextTag()
+	n := c.Size()
+	vr := (c.Rank() - root + n) % n
+	acc := valueList{x}
+	done := false
+	for k := 0; k < log2Ceil(n) && !done; k++ {
+		bit := 1 << k
+		if vr&bit != 0 {
+			dst := (vr - bit + root) % n
+			c.Send(dst, acc, tag)
+			done = true
+		} else if vr+bit < n {
+			src := (vr + bit + root) % n
+			recv := recvValue(c, src, tag).(valueList)
+			acc = append(acc, recv...)
+		}
+	}
+	if vr == 0 {
+		// acc is in virtual-rank order; rotate back to real ranks.
+		real := make([]Value, n)
+		for v, x := range acc {
+			real[(v+root)%n] = x
+		}
+		return real
+	}
+	return nil
+}
+
+// Scatter distributes the root's per-member slices: the root supplies xs
+// with one value per member, and every member returns its own xs[rank].
+// Implemented as the top-down binomial tree: in descending phase k, each
+// chunk holder at a virtual rank divisible by 2^(k+1) hands the upper
+// half of its chunk to virtual rank +2^k.
+func Scatter(c Comm, root int, xs []Value) Value {
+	tag := c.NextTag()
+	n := c.Size()
+	vr := (c.Rank() - root + n) % n
+	var hold valueList
+	if vr == 0 {
+		if len(xs) != n {
+			panic(fmt.Sprintf("coll: Scatter root got %d values for %d members", len(xs), n))
+		}
+		// Rotate into virtual-rank order so chunks are contiguous.
+		hold = make(valueList, n)
+		for r, x := range xs {
+			hold[(r-root+n)%n] = x
+		}
+	}
+	have := vr == 0
+	span := n // virtual ranks covered by the held chunk [vr, vr+span)
+	for k := log2Ceil(n) - 1; k >= 0; k-- {
+		bit := 1 << k
+		switch {
+		case have && vr%(bit<<1) == 0 && span > bit && vr+bit < n:
+			upper := hold[bit:]
+			dst := (vr + bit + root) % n
+			c.Send(dst, upper, tag)
+			hold = hold[:bit]
+			span = bit
+		case !have && vr%(bit<<1) == bit:
+			src := (vr - bit + root) % n
+			hold = recvValue(c, src, tag).(valueList)
+			have = true
+			span = len(hold)
+		}
+	}
+	return hold[0]
+}
+
+// AllGather delivers every member's value to every member, in rank order,
+// using the fold/butterfly scheme of AllReduce with concatenation as the
+// combine.
+func AllGather(c Comm, x Value) []Value {
+	concat := &algebra.Op{
+		Name:  "++",
+		Cost:  0,
+		Arity: 1,
+		Fn: func(a, b Value) Value {
+			ta := a.(algebra.Tuple)
+			tb := b.(algebra.Tuple)
+			out := make(algebra.Tuple, 0, len(ta)+len(tb))
+			out = append(out, ta...)
+			return append(out, tb...)
+		},
+	}
+	v := AllReduce(c, concat, algebra.Tuple{x})
+	return []Value(v.(algebra.Tuple))
+}
+
+// Iter applies the Local-rule schema of §3.5 on rank 0: op.F iterated
+// ceil(log2 p) times on the first member's working state, all other
+// members idle and undetermined:
+//
+//	iter f [x, _, …, _] = [f^(log p) x, _, …, _]
+//
+// No communication happens at all — that is the whole point of the Local
+// rules. The function returns the projected first component on rank 0 and
+// Undef elsewhere.
+func Iter(c Comm, op *algebra.IterOp, x Value) Value {
+	if c.Rank() != 0 {
+		return algebra.Undef{}
+	}
+	w := op.Prepare(x)
+	for k := 0; k < log2Ceil(c.Size()); k++ {
+		w = op.F(w)
+		c.Compute(op.Charge(w))
+	}
+	return algebra.First(w)
+}
+
+// pairValue packs two small integers into a pair of scalars (used by
+// Split to allgather color/key).
+func pairValue(a, b int) Value {
+	return algebra.Tuple{algebra.Scalar(a), algebra.Scalar(b)}
+}
+
+// pairFields unpacks a pairValue.
+func pairFields(v Value) (a, b int) {
+	t := v.(algebra.Tuple)
+	return int(t[0].(algebra.Scalar)), int(t[1].(algebra.Scalar))
+}

@@ -1,0 +1,165 @@
+package coll
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/machine"
+)
+
+func randBlocks(rng *rand.Rand, p, m int) []algebra.Vec {
+	out := make([]algebra.Vec, p)
+	for i := range out {
+		v := make(algebra.Vec, m)
+		for j := range v {
+			v[j] = float64(rng.Intn(9) - 4)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func elementwiseSum(blocks []algebra.Vec) algebra.Vec {
+	out := append(algebra.Vec(nil), blocks[0]...)
+	for _, b := range blocks[1:] {
+		for j := range out {
+			out[j] += b[j]
+		}
+	}
+	return out
+}
+
+func TestReduceScatterAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8, 13, 16} {
+		m := 2*n + 3 // remainder chunks exercised
+		blocks := randBlocks(rng, n, m)
+		want := elementwiseSum(blocks)
+		vm := machine.New(n, machine.Params{Ts: 4, Tw: 1})
+		got := make([]algebra.Vec, n)
+		vm.Run(func(proc *machine.Proc) {
+			c := World(proc)
+			v := ReduceScatter(c, algebra.Add, blocks[proc.Rank()].Clone())
+			got[proc.Rank()] = v.(algebra.Vec)
+		})
+		// Concatenate the chunks in rank order and compare.
+		var flat algebra.Vec
+		for _, g := range got {
+			flat = append(flat, g...)
+		}
+		if !algebra.Equal(flat, want) {
+			t.Fatalf("p=%d: reduce-scatter = %v, want %v", n, flat, want)
+		}
+	}
+}
+
+func TestReduceScatterMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	n, m := 6, 12
+	blocks := randBlocks(rng, n, m)
+	want := append(algebra.Vec(nil), blocks[0]...)
+	for _, b := range blocks[1:] {
+		for j := range want {
+			if b[j] > want[j] {
+				want[j] = b[j]
+			}
+		}
+	}
+	vm := machine.New(n, machine.Params{Ts: 4, Tw: 1})
+	var flatMu [16]algebra.Vec
+	vm.Run(func(proc *machine.Proc) {
+		c := World(proc)
+		v := ReduceScatter(c, algebra.Max, blocks[proc.Rank()].Clone())
+		flatMu[proc.Rank()] = v.(algebra.Vec)
+	})
+	var flat algebra.Vec
+	for i := 0; i < n; i++ {
+		flat = append(flat, flatMu[i]...)
+	}
+	if !algebra.Equal(flat, want) {
+		t.Fatalf("max reduce-scatter = %v, want %v", flat, want)
+	}
+}
+
+func TestReduceScatterRejectsSmallBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	vm := machine.New(4, machine.Params{})
+	vm.Run(func(proc *machine.Proc) {
+		ReduceScatter(World(proc), algebra.Add, algebra.Vec{1, 2})
+	})
+}
+
+func TestAllReduceRingAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for _, n := range []int{1, 2, 3, 5, 6, 8, 12, 16} {
+		m := 3 * n
+		blocks := randBlocks(rng, n, m)
+		want := elementwiseSum(blocks)
+		out, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+			return AllReduceRing(pr, algebra.Add, blocks[pr.Rank()].Clone())
+		})
+		for r, v := range out {
+			if !algebra.Equal(v, want) {
+				t.Fatalf("p=%d: ring allreduce proc %d = %v, want %v", n, r, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceWithSelectsAlgorithm(t *testing.T) {
+	blocks := randBlocks(rand.New(rand.NewSource(204)), 4, 8)
+	want := elementwiseSum(blocks)
+	for _, alg := range []AllReduceAlg{AllReduceButterfly, AllReduceRingAlg} {
+		out, _ := runSPMD(4, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+			return AllReduceWith(pr, algebra.Add, blocks[pr.Rank()].Clone(), alg)
+		})
+		for r, v := range out {
+			if !algebra.Equal(v, want) {
+				t.Fatalf("%s: proc %d = %v, want %v", alg, r, v, want)
+			}
+		}
+	}
+}
+
+// TestRingBeatsButterflyOnLargeBlocks: ~2m bandwidth against m·log p.
+func TestRingBeatsButterflyOnLargeBlocks(t *testing.T) {
+	params := machine.Params{Ts: 10, Tw: 4}
+	p, m := 16, 1<<14
+	run := func(alg AllReduceAlg) float64 {
+		_, res := runSPMD(p, params, func(pr Comm) Value {
+			return AllReduceWith(pr, algebra.Add, make(algebra.Vec, m), alg)
+		})
+		return res.Makespan
+	}
+	if ring, bf := run(AllReduceRingAlg), run(AllReduceButterfly); ring >= bf {
+		t.Fatalf("ring (%g) should beat butterfly (%g) on large blocks", ring, bf)
+	}
+	// And the butterfly wins the start-up-dominated regime.
+	params = machine.Params{Ts: 10000, Tw: 1}
+	m = 64
+	if ring, bf := run2(params, p, m, AllReduceRingAlg), run2(params, p, m, AllReduceButterfly); bf >= ring {
+		t.Fatalf("butterfly (%g) should beat ring (%g) on small blocks", bf, ring)
+	}
+}
+
+func run2(params machine.Params, p, m int, alg AllReduceAlg) float64 {
+	_, res := runSPMD(p, params, func(pr Comm) Value {
+		return AllReduceWith(pr, algebra.Add, make(algebra.Vec, m), alg)
+	})
+	return res.Makespan
+}
+
+func TestAllReduceAlgString(t *testing.T) {
+	if AllReduceButterfly.String() != "butterfly" || AllReduceRingAlg.String() != "ring" {
+		t.Fatal("algorithm names")
+	}
+	if !strings.Contains(AllReduceAlg(7).String(), "7") {
+		t.Fatal("unknown algorithm name")
+	}
+}

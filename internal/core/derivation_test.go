@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/rules"
+)
+
+func derivMachine() Machine { return Machine{Ts: 2000, Tw: 1, P: 16, M: 8} }
+
+func TestDerivationWalkthrough(t *testing.T) {
+	// bcast ; scan(+) ; scan(+) — choose SS-Scan first (against the
+	// engine's greedy BSS-Comcast), then BS-Comcast is gone, then undo
+	// and take the engine's preferred route.
+	spec := NewProgram().Bcast().Scan(algebra.Add).Scan(algebra.Add)
+	d := NewDerivation(spec, derivMachine())
+
+	opts := d.Options()
+	names := map[string]bool{}
+	for _, o := range opts {
+		names[o.Rule] = true
+	}
+	if !names["BSS-Comcast"] || !names["BS-Comcast"] || !names["SS-Scan"] {
+		t.Fatalf("options = %v", opts)
+	}
+
+	app, err := d.Apply("SS-Scan", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Rule != "SS-Scan" || app.Pos != 1 {
+		t.Fatalf("application = %+v", app)
+	}
+	if !strings.Contains(d.Current().String(), "scan_balanced") {
+		t.Fatalf("current = %s", d.Current())
+	}
+
+	// Undo and take the comcast route instead.
+	if !d.Undo() {
+		t.Fatal("undo failed")
+	}
+	if d.Current().String() != spec.String() {
+		t.Fatalf("undo did not restore the spec: %s", d.Current())
+	}
+	if _, err := d.Apply("BSS-Comcast", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Steps()) != 1 {
+		t.Fatalf("steps = %v", d.Steps())
+	}
+
+	script := d.Script()
+	for _, want := range []string{"P_1 =", "P_2 =", "BSS-Comcast", "⊕ is commutative", "estimate"} {
+		if !strings.Contains(script, want) {
+			t.Fatalf("script missing %q:\n%s", want, script)
+		}
+	}
+}
+
+func TestDerivationPolyEvalStyle(t *testing.T) {
+	// The §5 derivation shape: the spec's bcast;scan window fuses by
+	// BS-Comcast, exactly one step.
+	spec := NewProgram().Bcast().Scan(algebra.Mul)
+	d := NewDerivation(spec, derivMachine())
+	if _, err := d.Apply("BS-Comcast", -1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Options()) != 0 {
+		t.Fatalf("unexpected further options: %v", d.Options())
+	}
+	// The derived program agrees with the spec.
+	if err := spec.Verify(d.Current(), rules.VerifyConfig{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivationErrors(t *testing.T) {
+	spec := NewProgram().Scan(algebra.Add)
+	d := NewDerivation(spec, derivMachine())
+	if _, err := d.Apply("No-Such-Rule", -1); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+	if _, err := d.Apply("BS-Comcast", -1); err == nil {
+		t.Fatal("non-matching rule accepted")
+	}
+	if _, err := d.Apply("SS-Scan", 5); err == nil {
+		t.Fatal("non-matching position accepted")
+	}
+	if d.Undo() {
+		t.Fatal("undo on empty history succeeded")
+	}
+}
+
+func TestDerivationRespectsMachineSize(t *testing.T) {
+	// BR-Local must not be offered on a non-power-of-two machine.
+	spec := NewProgram().Bcast().Reduce(algebra.Add)
+	d := NewDerivation(spec, Machine{Ts: 100, Tw: 1, P: 6, M: 4})
+	for _, o := range d.Options() {
+		if o.Rule == "BR-Local" {
+			t.Fatalf("BR-Local offered on p=6: %v", d.Options())
+		}
+	}
+	if _, err := d.Apply("BR-Local", -1); err == nil {
+		t.Fatal("BR-Local applied on p=6")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// TestDeterministicVirtualTime is a load-bearing property of the whole
+// reproduction: virtual run times must not depend on goroutine
+// scheduling. Every program runs several times and must produce
+// bit-identical outputs, makespans and per-processor clocks.
+func TestDeterministicVirtualTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	progs := []Program{
+		NewProgram().Bcast().Scan(algebra.Add).Reduce(algebra.Max),
+		NewProgram().Scan(algebra.Mul).Scan(algebra.Add).AllReduce(algebra.Add),
+		NewProgram().Scan(algebra.Add).Reduce(algebra.Add).Bcast(),
+	}
+	for _, p := range []int{5, 8, 13} {
+		in := randScalars(rng, p)
+		mach := testMachine(p)
+		for _, prog := range progs {
+			out0, res0 := prog.Run(mach, in)
+			for rep := 0; rep < 10; rep++ {
+				out, res := prog.Run(mach, in)
+				if !algebra.EqualLists(out, out0) {
+					t.Fatalf("%s p=%d: outputs differ across runs", prog, p)
+				}
+				if res.Makespan != res0.Makespan {
+					t.Fatalf("%s p=%d: makespan %g vs %g", prog, p, res.Makespan, res0.Makespan)
+				}
+				for r := range res.Clocks {
+					if res.Clocks[r] != res0.Clocks[r] {
+						t.Fatalf("%s p=%d: clock of proc %d differs: %g vs %g",
+							prog, p, r, res.Clocks[r], res0.Clocks[r])
+					}
+				}
+				if res.Messages != res0.Messages {
+					t.Fatalf("%s p=%d: message count differs", prog, p)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerDeterministic: the engine's rewriting is a pure function
+// of the term.
+func TestOptimizerDeterministic(t *testing.T) {
+	prog := NewProgram().
+		Bcast().Scan(algebra.Add).Scan(algebra.Add).
+		Scan(algebra.Mul).Reduce(algebra.Add)
+	mach := Machine{Ts: 5000, Tw: 1, P: 64, M: 16}
+	first := prog.Optimize(mach)
+	for i := 0; i < 5; i++ {
+		again := prog.Optimize(mach)
+		if again.Program.String() != first.Program.String() {
+			t.Fatalf("optimizer nondeterministic: %s vs %s", again.Program, first.Program)
+		}
+		if len(again.Applications) != len(first.Applications) {
+			t.Fatalf("application counts differ")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// Program is a parallel program in the functional framework: a forward
+// composition of local and collective stages. The zero value is the empty
+// program; stages are appended with the builder methods, each of which
+// returns a new Program (programs are immutable values).
+type Program struct {
+	stages term.Seq
+}
+
+// NewProgram returns the empty program.
+func NewProgram() Program { return Program{} }
+
+// FromTerm wraps an existing term as a Program.
+func FromTerm(t term.Term) Program {
+	return Program{stages: term.Compose(t)}
+}
+
+// Term returns the program's term.
+func (p Program) Term() term.Term { return p.stages }
+
+// String renders the program in the paper's notation.
+func (p Program) String() string {
+	if len(p.stages) == 0 {
+		return "id"
+	}
+	return p.stages.String()
+}
+
+func (p Program) with(t term.Term) Program {
+	out := make(term.Seq, len(p.stages), len(p.stages)+1)
+	copy(out, p.stages)
+	return Program{stages: append(out, t)}
+}
+
+// Map appends a local stage map f.
+func (p Program) Map(f *term.Fn) Program { return p.with(term.Map{F: f}) }
+
+// MapIdx appends an index-aware local stage map# f.
+func (p Program) MapIdx(f *term.IdxFn) Program { return p.with(term.MapIdx{F: f}) }
+
+// Scan appends scan(op).
+func (p Program) Scan(op *algebra.Op) Program { return p.with(term.Scan{Op: op}) }
+
+// Reduce appends reduce(op) (result on the first processor).
+func (p Program) Reduce(op *algebra.Op) Program { return p.with(term.Reduce{Op: op}) }
+
+// AllReduce appends allreduce(op).
+func (p Program) AllReduce(op *algebra.Op) Program {
+	return p.with(term.Reduce{Op: op, All: true})
+}
+
+// ReduceBalanced appends the balanced reduction of §3.2, which tolerates
+// non-associative operators such as op_sr (the operator must provide the
+// one-sided case).
+func (p Program) ReduceBalanced(op *algebra.Op) Program {
+	return p.with(term.Reduce{Op: op, Balanced: true})
+}
+
+// AllReduceBalanced appends the balanced all-reduction of §3.2.
+func (p Program) AllReduceBalanced(op *algebra.Op) Program {
+	return p.with(term.Reduce{Op: op, All: true, Balanced: true})
+}
+
+// ScanBalanced appends the balanced scan of §3.3.
+func (p Program) ScanBalanced(op *algebra.BalancedScanOp) Program {
+	return p.with(term.ScanBal{Op: op})
+}
+
+// Comcast appends the compute-after-broadcast collective of §3.4;
+// costOptimal selects the successive-doubling implementation instead of
+// bcast + repeat.
+func (p Program) Comcast(ops *algebra.RepeatOps, costOptimal bool) Program {
+	return p.with(term.Comcast{Ops: ops, CostOptimal: costOptimal})
+}
+
+// Iter appends the local iteration schema of §3.5.
+func (p Program) Iter(op *algebra.IterOp) Program {
+	return p.with(term.Iter{Op: op})
+}
+
+// Bcast appends a broadcast from the first processor.
+func (p Program) Bcast() Program { return p.with(term.Bcast{}) }
+
+// Then concatenates two programs — the program-composition source of
+// optimization opportunities from §2.1.
+func (p Program) Then(q Program) Program {
+	return Program{stages: term.Compose(p.stages, q.stages)}
+}
+
+// Optimization reports what Optimize did.
+type Optimization struct {
+	// Program is the rewritten program.
+	Program Program
+	// Applications are the rule applications, in order.
+	Applications []rules.Application
+	// EstimateBefore and EstimateAfter are cost estimates of the whole
+	// program on the target machine.
+	EstimateBefore, EstimateAfter float64
+}
+
+// Summary renders the optimization as a short report.
+func (o Optimization) Summary() string {
+	var b strings.Builder
+	for _, a := range o.Applications {
+		fmt.Fprintf(&b, "applied %s\n", a)
+	}
+	fmt.Fprintf(&b, "estimate: %.0f -> %.0f (%.2fx)\n",
+		o.EstimateBefore, o.EstimateAfter, o.EstimateBefore/o.EstimateAfter)
+	return b.String()
+}
+
+// Optimize rewrites the program with the cost-guided engine: a rule is
+// applied only where the Table 1-style estimates predict an improvement on
+// machine m. The registry declaring the operators' algebraic properties
+// defaults to algebra.Default; use OptimizeWith to supply your own.
+func (p Program) Optimize(m Machine) Optimization {
+	return p.OptimizeWith(m, algebra.Default())
+}
+
+// OptimizeWith is Optimize with an explicit property registry.
+func (p Program) OptimizeWith(m Machine, reg *algebra.Registry) Optimization {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	eng.Env.Reg = reg
+	opt, apps := eng.Optimize(p.stages)
+	return Optimization{
+		Program:        FromTerm(opt),
+		Applications:   apps,
+		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
+		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
+	}
+}
+
+// OptimizeExhaustively rewrites with every applicable rule regardless of
+// the cost estimates (the purely algebraic view of §3).
+func (p Program) OptimizeExhaustively(reg *algebra.Registry, machineP int) Optimization {
+	eng := rules.NewEngine()
+	eng.Env.Reg = reg
+	eng.Env.P = machineP
+	opt, apps := eng.Optimize(p.stages)
+	return Optimization{Program: FromTerm(opt), Applications: apps}
+}
+
+// Applicable lists the rule applications available in the program without
+// rewriting, with cost estimates for machine m.
+func (p Program) Applicable(m Machine) []rules.Application {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	return eng.Applicable(p.stages)
+}
+
+// Estimate predicts the program's run time on machine m under the
+// butterfly cost model of §4.
+func (p Program) Estimate(m Machine) float64 {
+	return cost.OfTerm(p.stages, m.costParams())
+}
+
+// Run executes the program on a virtual machine with m.P processors and
+// returns the output list and the machine result; Result.Makespan is the
+// measured run time under the cost model.
+func (p Program) Run(m Machine, input []algebra.Value) ([]algebra.Value, machine.Result) {
+	return Exec(p.stages, m.virtual(), input)
+}
+
+// RunTraced is Run with an event trace collected for timeline rendering.
+func (p Program) RunTraced(m Machine, input []algebra.Value) ([]algebra.Value, machine.Result, []machine.Event) {
+	vm := m.virtual()
+	tr := machine.NewTracer()
+	vm.SetTracer(tr)
+	out, res := Exec(p.stages, vm, input)
+	return out, res, tr.Events()
+}
+
+// Verify checks that this program and q are semantically equivalent by
+// evaluating both under the functional semantics on randomized inputs
+// (comparing modulo undetermined positions). Use it to validate an
+// optimization end to end.
+func (p Program) Verify(q Program, cfg rules.VerifyConfig) error {
+	return rules.VerifyEquivalence(p.stages, q.stages, cfg)
+}
+
+// CrossCheck runs the program on the virtual machine and compares the
+// result with the functional semantics on the same input, modulo
+// undetermined positions — the executor must implement the semantics.
+func (p Program) CrossCheck(m Machine, input []algebra.Value) error {
+	return p.CrossCheckTol(m, input, 0)
+}
+
+// CrossCheckTol is CrossCheck with a relative tolerance on numeric
+// results, for programs whose operator chains leave the exactly
+// representable float range (the machine's butterfly and the semantics'
+// sequential fold may then differ in the last bits by reassociation).
+func (p Program) CrossCheckTol(m Machine, input []algebra.Value, relTol float64) error {
+	got, _ := p.Run(m, input)
+	want := term.Eval(p.stages, input)
+	equal := len(got) == len(want)
+	if equal {
+		for i := range got {
+			if relTol > 0 {
+				equal = algebra.EqualApproxModuloUndef(got[i], want[i], relTol)
+			} else {
+				equal = algebra.EqualModuloUndef(got[i], want[i])
+			}
+			if !equal {
+				break
+			}
+		}
+	}
+	if !equal {
+		return fmt.Errorf("core: machine execution disagrees with semantics:\n  machine: %v\n  semantics: %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package cost implements the performance-estimate calculus of §4 of the
+// paper: the butterfly-implementation cost formulas for the collective
+// operations (equations (15)–(17)), a general estimator for arbitrary
+// terms of the formal framework, and the closed-form Table 1 — for every
+// optimization rule, the time before, the time after, and the
+// machine-parameter condition under which applying the rule improves the
+// target performance.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/term"
+)
+
+// Params are the cost-model parameters of §4.1: the machine's start-up
+// time Ts and per-word transfer time Tw (in units of one computation
+// operation), the per-processor block size M in words, and the number of
+// processors P.
+type Params struct {
+	// Ts is the message start-up time.
+	Ts float64
+	// Tw is the per-word transfer time.
+	Tw float64
+	// M is the block size in words.
+	M int
+	// P is the number of processors.
+	P int
+}
+
+// LogP is the number of butterfly phases, ceil(log2 P) — the log p factor
+// of every estimate. The paper treats p as a power of two, for which this
+// is exactly log2 p.
+func (p Params) LogP() float64 {
+	if p.P <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p.P)))
+}
+
+// m returns the block size as a float.
+func (p Params) m() float64 { return float64(p.M) }
+
+// Bcast is equation (15): log p · (ts + m·tw).
+func Bcast(p Params) float64 {
+	return p.LogP() * (p.Ts + p.m()*p.Tw)
+}
+
+// Reduce is equation (16): log p · (ts + m·(tw+1)) for a base operator.
+func Reduce(p Params) float64 {
+	return p.LogP() * (p.Ts + p.m()*(p.Tw+1))
+}
+
+// Scan is equation (17): log p · (ts + m·(tw+2)) for a base operator.
+func Scan(p Params) float64 {
+	return p.LogP() * (p.Ts + p.m()*(p.Tw+2))
+}
+
+// OfTerm estimates the run time of an arbitrary term under the butterfly
+// implementation model. It generalizes equations (15)–(17) to the derived
+// tuple operators: an operator of arity a and per-element cost c makes a
+// reduction phase cost ts + a·m·tw + c·m and a scan phase
+// ts + a·m·tw + 2·c·m. Local stages cost their per-element count times m,
+// without the log p factor; duplication and projection are free (§4.2).
+func OfTerm(t term.Term, p Params) float64 {
+	total := 0.0
+	for _, stage := range term.Stages(t) {
+		total += ofStage(stage, p)
+	}
+	return total
+}
+
+func ofStage(t term.Term, p Params) float64 {
+	logp := p.LogP()
+	m := p.m()
+	switch s := t.(type) {
+	case term.Map:
+		return float64(s.F.Cost) * m
+	case term.MapIdx:
+		// The worst processor (rank p-1, all binary digits one for the
+		// repeat schema) bounds the makespan.
+		if s.F.Charge == nil {
+			return 0
+		}
+		return s.F.Charge(p.P-1, p.M)
+	case term.Bcast:
+		return Bcast(p)
+	case term.Gather, term.Scatter:
+		// Binomial tree shipping half the remaining data per phase:
+		// log p start-ups and about p·m words through the root's link.
+		return p.LogP()*p.Ts + float64(p.P)*p.m()*p.Tw
+	case term.Scan:
+		a := float64(s.Op.Arity)
+		c := float64(s.Op.Cost)
+		return logp * (p.Ts + a*m*p.Tw + 2*c*m)
+	case term.ScanBal:
+		ship := float64(s.Op.ShipWidth)
+		c := float64(s.Op.CostHi)
+		return logp * (p.Ts + ship*m*p.Tw + c*m)
+	case term.Reduce:
+		a := float64(s.Op.Arity)
+		c := float64(s.Op.Cost)
+		return logp * (p.Ts + a*m*p.Tw + c*m)
+	case term.Comcast:
+		if s.CostOptimal {
+			// log p rounds, each shipping the whole working tuple and
+			// computing both e and o on the critical path.
+			a := float64(s.Ops.Arity)
+			eo := float64(s.Ops.CostE + s.Ops.CostO)
+			return logp * (p.Ts + a*m*p.Tw + eo*m)
+		}
+		// bcast + local repeat; the worst processor applies o each phase.
+		return Bcast(p) + logp*float64(s.Ops.CostO)*m
+	case term.Iter:
+		return logp * float64(s.Op.Cost) * m
+	case term.Seq:
+		return OfTerm(s, p)
+	}
+	return 0
+}
+
+// lin is a linear form a·ts + b·m·tw + c·m (all per log p), the shape of
+// every Table 1 entry.
+type lin struct {
+	ts, mtw, m float64
+}
+
+func (l lin) eval(p Params) float64 {
+	return p.LogP() * (l.ts*p.Ts + l.mtw*p.m()*p.Tw + l.m*p.m())
+}
+
+// Entry is one row of Table 1: the rule name, the estimated times before
+// and after the rewrite, and the improvement condition.
+type Entry struct {
+	// Rule is the rule name as in §3.
+	Rule string
+	// Before and After give the estimated run times (including the
+	// log p factor, unlike the table's headings).
+	Before func(Params) float64
+	// After is the estimated run time of the right-hand side.
+	After func(Params) float64
+	// Improves reports whether the rule improves performance at the
+	// given parameters (the table's "Improved if" column).
+	Improves func(Params) bool
+	// Condition is the human-readable improvement condition.
+	Condition string
+}
+
+// entry builds an Entry from the two linear forms and condition.
+func entry(rule string, before, after lin, cond func(Params) bool, condStr string) Entry {
+	return Entry{
+		Rule:      rule,
+		Before:    before.eval,
+		After:     after.eval,
+		Improves:  cond,
+		Condition: condStr,
+	}
+}
+
+func always(Params) bool { return true }
+
+// Table1 returns the closed-form performance estimates of Table 1, one
+// entry per optimization rule, in the paper's order. CR-AllLocal, which
+// the paper defines in §3.5 but leaves out of the table, is appended with
+// the same accounting.
+func Table1() []Entry {
+	return []Entry{
+		entry("SR2-Reduction",
+			lin{2, 2, 3}, lin{1, 2, 3},
+			always, "always"),
+		entry("SR-Reduction",
+			lin{2, 2, 3}, lin{1, 2, 4},
+			func(p Params) bool { return p.Ts > p.m() },
+			"ts > m"),
+		entry("SS2-Scan",
+			lin{2, 2, 4}, lin{1, 2, 6},
+			func(p Params) bool { return p.Ts > 2*p.m() },
+			"ts > 2m"),
+		entry("SS-Scan",
+			lin{2, 2, 4}, lin{1, 3, 8},
+			func(p Params) bool { return p.Ts > p.m()*(p.Tw+4) },
+			"ts > m(tw+4)"),
+		entry("BS-Comcast",
+			lin{2, 2, 2}, lin{1, 1, 2},
+			always, "always"),
+		entry("BSS2-Comcast",
+			lin{3, 3, 4}, lin{1, 1, 5},
+			func(p Params) bool { return p.Tw+p.Ts/p.m() > 0.5 },
+			"tw + ts/m > 1/2"),
+		entry("BSS-Comcast",
+			lin{3, 3, 4}, lin{1, 1, 8},
+			func(p Params) bool { return p.Tw+p.Ts/p.m() > 2 },
+			"tw + ts/m > 2"),
+		entry("BR-Local",
+			lin{2, 2, 1}, lin{0, 0, 1},
+			always, "always"),
+		entry("BSR2-Local",
+			lin{3, 3, 3}, lin{0, 0, 3},
+			always, "always"),
+		entry("BSR-Local",
+			lin{3, 3, 3}, lin{0, 0, 4},
+			func(p Params) bool { return p.Tw+p.Ts/p.m() >= 1.0/3 },
+			"tw + ts/m >= 1/3"),
+		entry("CR-AllLocal",
+			lin{2, 2, 1}, lin{1, 1, 1},
+			always, "always"),
+	}
+}
+
+// Lookup returns the Table 1 entry for the named rule.
+func Lookup(rule string) (Entry, bool) {
+	for _, e := range Table1() {
+		if e.Rule == rule {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Crossover finds, by bisection over the block size m at fixed ts, tw and
+// p, the largest m (within [1, hi]) at which the rule still improves
+// performance according to the closed forms. It returns hi if the rule
+// improves everywhere and 0 if nowhere. Used to locate the predicted
+// crossover points such as SS2-Scan's m = ts/2.
+func Crossover(e Entry, base Params, hi int) int {
+	improves := func(m int) bool {
+		p := base
+		p.M = m
+		return e.Improves(p)
+	}
+	if improves(hi) {
+		return hi
+	}
+	if !improves(1) {
+		return 0
+	}
+	lo, up := 1, hi // improves(lo), !improves(up)
+	for up-lo > 1 {
+		mid := (lo + up) / 2
+		if improves(mid) {
+			lo = mid
+		} else {
+			up = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,217 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+func TestLinFormArithmetic(t *testing.T) {
+	a := LinForm{Ts: 2, MTw: 2, M: 3}
+	b := LinForm{Ts: 1, MTw: 2, M: 3}
+	d := a.Sub(b)
+	if d != (LinForm{Ts: 1}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if s := a.Add(b); s != (LinForm{Ts: 3, MTw: 4, M: 6}) {
+		t.Fatalf("Add = %+v", s)
+	}
+	if s := a.Scale(2); s != (LinForm{Ts: 4, MTw: 4, M: 6}) {
+		t.Fatalf("Scale = %+v", s)
+	}
+	if !(LinForm{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}
+
+func TestLinFormEval(t *testing.T) {
+	l := LinForm{Ts: 2, MTw: 2, M: 3}
+	p := Params{Ts: 100, Tw: 2, M: 10, P: 8}
+	// 2·100 + 2·10·2 + 3·10 = 270, ×log p = 3.
+	if got := l.Eval(p); got != 270 {
+		t.Fatalf("Eval = %g", got)
+	}
+	if got := l.EvalTotal(p); got != 810 {
+		t.Fatalf("EvalTotal = %g", got)
+	}
+}
+
+func TestLinFormString(t *testing.T) {
+	cases := []struct {
+		l    LinForm
+		want string
+	}{
+		{LinForm{Ts: 2, MTw: 2, M: 3}, "2ts + m(2tw + 3)"},
+		{LinForm{Ts: 1, MTw: 2, M: 6}, "ts + m(2tw + 6)"},
+		{LinForm{M: 1}, "m"},
+		{LinForm{M: 3}, "3m"},
+		{LinForm{Ts: 1, MTw: 1}, "ts + m(tw)"},
+		{LinForm{}, "0"},
+		{LinForm{Ts: 1, MTw: -1, M: -4}, "ts + m(-tw - 4)"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.l, got, c.want)
+		}
+	}
+}
+
+// TestSymbolicMatchesTable1 derives every Table 1 row symbolically from
+// the term representations and compares against the stored closed forms
+// at several parameter points.
+func TestSymbolicMatchesTable1(t *testing.T) {
+	sr2 := algebra.OpSR2(algebra.Mul, algebra.Add)
+	sr := algebra.OpSR(algebra.Add)
+	ss := algebra.OpSS(algebra.Add)
+	rows := []struct {
+		rule     string
+		lhs, rhs term.Term
+	}{
+		{"SR2-Reduction",
+			term.Seq{term.Scan{Op: algebra.Mul}, term.Reduce{Op: algebra.Add}},
+			term.Seq{term.Map{F: term.PairFn}, term.Reduce{Op: sr2}, term.Map{F: term.FirstFn}}},
+		{"SR-Reduction",
+			term.Seq{term.Scan{Op: algebra.Add}, term.Reduce{Op: algebra.Add}},
+			term.Seq{term.Map{F: term.PairFn}, term.Reduce{Op: sr, Balanced: true}, term.Map{F: term.FirstFn}}},
+		{"SS2-Scan",
+			term.Seq{term.Scan{Op: algebra.Mul}, term.Scan{Op: algebra.Add}},
+			term.Seq{term.Map{F: term.PairFn}, term.Scan{Op: sr2}, term.Map{F: term.FirstFn}}},
+		{"SS-Scan",
+			term.Seq{term.Scan{Op: algebra.Add}, term.Scan{Op: algebra.Add}},
+			term.Seq{term.Map{F: term.QuadrupleFn}, term.ScanBal{Op: ss}, term.Map{F: term.FirstFn}}},
+		{"BS-Comcast",
+			term.Seq{term.Bcast{}, term.Scan{Op: algebra.Add}},
+			term.Seq{term.Comcast{Ops: algebra.OpCompBS(algebra.Add)}}},
+		{"BSS2-Comcast",
+			term.Seq{term.Bcast{}, term.Scan{Op: algebra.Mul}, term.Scan{Op: algebra.Add}},
+			term.Seq{term.Comcast{Ops: algebra.OpCompBSS2(algebra.Mul, algebra.Add)}}},
+		{"BSS-Comcast",
+			term.Seq{term.Bcast{}, term.Scan{Op: algebra.Add}, term.Scan{Op: algebra.Add}},
+			term.Seq{term.Comcast{Ops: algebra.OpCompBSS(algebra.Add)}}},
+		{"BR-Local",
+			term.Seq{term.Bcast{}, term.Reduce{Op: algebra.Add}},
+			term.Seq{term.Iter{Op: algebra.OpBR(algebra.Add)}}},
+		{"BSR2-Local",
+			term.Seq{term.Bcast{}, term.Scan{Op: algebra.Mul}, term.Reduce{Op: algebra.Add}},
+			term.Seq{term.Iter{Op: algebra.OpBSR2(algebra.Mul, algebra.Add)}}},
+		{"BSR-Local",
+			term.Seq{term.Bcast{}, term.Scan{Op: algebra.Add}, term.Reduce{Op: algebra.Add}},
+			term.Seq{term.Iter{Op: algebra.OpBSR(algebra.Add)}}},
+		{"CR-AllLocal",
+			term.Seq{term.Bcast{}, term.Reduce{Op: algebra.Add, All: true}},
+			term.Seq{term.Iter{Op: algebra.OpBR(algebra.Add)}, term.Bcast{}}},
+	}
+	points := []Params{
+		{Ts: 100, Tw: 2, M: 10, P: 8},
+		{Ts: 5000, Tw: 1, M: 16, P: 32},
+		{Ts: 1, Tw: 1, M: 1024, P: 64},
+	}
+	for _, row := range rows {
+		entry, ok := Lookup(row.rule)
+		if !ok {
+			t.Fatalf("no table entry for %s", row.rule)
+		}
+		before := SymbolicOfTerm(row.lhs)
+		after := SymbolicOfTerm(row.rhs)
+		for _, p := range points {
+			if got, want := before.EvalTotal(p), entry.Before(p); got != want {
+				t.Errorf("%s before at %+v: symbolic %g, table %g (form %s)", row.rule, p, got, want, before)
+			}
+			if got, want := after.EvalTotal(p), entry.After(p); got != want {
+				t.Errorf("%s after at %+v: symbolic %g, table %g (form %s)", row.rule, p, got, want, after)
+			}
+		}
+	}
+}
+
+// TestDerivedConditionsMatchPaper reproduces the "Improved if" column by
+// symbolic derivation alone.
+func TestDerivedConditionsMatchPaper(t *testing.T) {
+	cases := []struct {
+		rule          string
+		before, after LinForm
+		want          string
+	}{
+		{"SR2-Reduction", LinForm{2, 2, 3, 0}, LinForm{1, 2, 3, 0}, "always"},
+		{"SR-Reduction", LinForm{2, 2, 3, 0}, LinForm{1, 2, 4, 0}, "ts > m"},
+		{"SS2-Scan", LinForm{2, 2, 4, 0}, LinForm{1, 2, 6, 0}, "ts > 2m"},
+		{"SS-Scan", LinForm{2, 2, 4, 0}, LinForm{1, 3, 8, 0}, "ts > m(tw + 4)"},
+		{"BS-Comcast", LinForm{2, 2, 2, 0}, LinForm{1, 1, 2, 0}, "always"},
+		{"BSS2-Comcast", LinForm{3, 3, 4, 0}, LinForm{1, 1, 5, 0}, "tw + ts/m > 1/2"},
+		{"BSS-Comcast", LinForm{3, 3, 4, 0}, LinForm{1, 1, 8, 0}, "tw + ts/m > 2"},
+		{"BR-Local", LinForm{2, 2, 1, 0}, LinForm{0, 0, 1, 0}, "always"},
+		{"BSR2-Local", LinForm{3, 3, 3, 0}, LinForm{0, 0, 3, 0}, "always"},
+		{"BSR-Local", LinForm{3, 3, 3, 0}, LinForm{0, 0, 4, 0}, "tw + ts/m > 1/3"},
+		{"CR-AllLocal", LinForm{2, 2, 1, 0}, LinForm{1, 1, 1, 0}, "always"},
+	}
+	for _, c := range cases {
+		cond := DeriveCondition(c.before, c.after)
+		if cond.Text != c.want {
+			t.Errorf("%s: derived %q, want %q (diff %s)", c.rule, cond.Text, c.want, cond.Diff)
+		}
+		// The derived predicate must agree with the stored one across a
+		// parameter sweep (> vs ≥ boundary cases excepted, checked with
+		// strictly interior points).
+		entry, _ := Lookup(c.rule)
+		for _, ts := range []float64{1, 13, 130, 1300, 13000} {
+			for _, tw := range []float64{0.25, 1, 3} {
+				for _, m := range []int{1, 9, 99, 999, 29999} {
+					p := Params{Ts: ts, Tw: tw, M: m, P: 64}
+					if got, want := cond.Holds(p), entry.Improves(p); got != want {
+						t.Errorf("%s at %+v: derived %v, stored %v", c.rule, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeriveConditionEdgeCases(t *testing.T) {
+	c := DeriveCondition(LinForm{Ts: 1}, LinForm{Ts: 1})
+	if !c.Never || c.Text != "never (equal cost)" {
+		t.Fatalf("equal cost: %+v", c)
+	}
+	c = DeriveCondition(LinForm{Ts: 1}, LinForm{Ts: 2})
+	if !c.Never {
+		t.Fatalf("strictly worse: %+v", c)
+	}
+	c = DeriveCondition(LinForm{Ts: 2, M: 1}, LinForm{Ts: 1})
+	if !c.Always {
+		t.Fatalf("strictly better: %+v", c)
+	}
+	// Mixed form that matches no paper pattern falls back to "diff > 0".
+	c = DeriveCondition(LinForm{Ts: 1, Const: 5}, LinForm{M: 1})
+	if c.Always || c.Never || c.Text == "" {
+		t.Fatalf("fallback: %+v", c)
+	}
+}
+
+func TestSymbolicOfTermRejectsCostedMap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := &term.Fn{Name: "f", Cost: 2}
+	SymbolicOfTerm(term.Map{F: f})
+}
+
+// TestSymbolicAgreesWithOfTerm cross-checks the symbolic estimator
+// against the numeric one on rule-shaped terms.
+func TestSymbolicAgreesWithOfTerm(t *testing.T) {
+	terms := []term.Term{
+		term.Seq{term.Bcast{}, term.Scan{Op: algebra.Add}},
+		term.Seq{term.Scan{Op: algebra.Mul}, term.Reduce{Op: algebra.Add}},
+		term.Seq{term.Comcast{Ops: algebra.OpCompBSS(algebra.Add)}},
+		term.Seq{term.Iter{Op: algebra.OpBSR(algebra.Add)}, term.Bcast{}},
+	}
+	p := Params{Ts: 777, Tw: 3, M: 42, P: 16}
+	for _, tm := range terms {
+		sym := SymbolicOfTerm(tm).EvalTotal(p)
+		num := OfTerm(tm, p)
+		if sym != num {
+			t.Errorf("%s: symbolic %g vs numeric %g", tm, sym, num)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart of width x height characters
+// (plus axes and legend), each series drawn with its own glyph — a
+// terminal-friendly stand-in for the paper's gnuplot figures.
+func (f Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := []byte{'s', 'c', 'r', 'd', 'e', 'f'}
+	var xmin, xmax, ymax float64
+	xmin = math.Inf(1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) || xmax == xmin {
+		xmin, xmax = 0, 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int(s.Y[i] / ymax * float64(height-1))
+			row := height - 1 - cy
+			if row < 0 {
+				row = 0
+			}
+			if cx >= width {
+				cx = width - 1
+			}
+			grid[row][cx] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%s (max %.3g)\n", f.YLabel, ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, " %-10.4g%*s\n", xmin, width-10, fmt.Sprintf("%.4g", xmax))
+	fmt.Fprintf(&b, " %s:", f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c=%s", glyphs[si%len(glyphs)], s.Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// PolyEval is the §5 case study: evaluate the polynomial
+// a1·x + a2·x² + … + an·xn at m points y1…ym, with coefficient ai on
+// processor i-1 and the point list on the first processor.
+type PolyEval struct {
+	// Coeffs are the polynomial coefficients a1…ap, one per processor.
+	Coeffs []float64
+	// Points are the m evaluation points.
+	Points algebra.Vec
+}
+
+// NewPolyEval builds a random instance with p coefficients and m points.
+func NewPolyEval(seed int64, p, m int) *PolyEval {
+	rng := rand.New(rand.NewSource(seed))
+	c := make([]float64, p)
+	for i := range c {
+		c[i] = float64(rng.Intn(5) - 2)
+	}
+	// Keep every power and partial sum exactly representable in float64,
+	// so the parallel variants can be compared with the reference
+	// exactly: beyond ~26 coefficients, powers of 2 or 1/2 would need
+	// more mantissa bits than remain after summation, so large machines
+	// use points from {-1, 0, 1} only.
+	pointSet := []float64{-1, -0.5, 0.5, 1, 2}
+	if p > 26 {
+		pointSet = []float64{-1, 0, 1}
+	}
+	pts := make(algebra.Vec, m)
+	for i := range pts {
+		pts[i] = pointSet[rng.Intn(len(pointSet))]
+	}
+	return &PolyEval{Coeffs: c, Points: pts}
+}
+
+// Reference evaluates the polynomial directly (Horner), the ground truth
+// for the parallel programs.
+func (pe *PolyEval) Reference() algebra.Vec {
+	out := make(algebra.Vec, len(pe.Points))
+	for j, y := range pe.Points {
+		acc := 0.0
+		for i := len(pe.Coeffs) - 1; i >= 0; i-- {
+			acc = (acc + pe.Coeffs[i]) * y
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// coeffFn multiplies the processor's block elementwise by its coefficient
+// (the paper's map2(×) as stage, with the distributed coefficient list
+// captured).
+func (pe *PolyEval) coeffFn() *term.IdxFn {
+	return &term.IdxFn{
+		Name: "mul_coeff",
+		F: func(i int, v algebra.Value) algebra.Value {
+			return algebra.Mul.Apply(algebra.Scalar(pe.Coeffs[i]), v)
+		},
+		Charge: func(i, m int) float64 { return float64(m) },
+	}
+}
+
+// Program1 is PolyEval_1, the initial specification (equation (18)):
+//
+//	bcast ; scan(*) ; map2(×) as ; reduce(+)
+func (pe *PolyEval) Program1() core.Program {
+	return core.NewProgram().
+		Bcast().
+		Scan(algebra.Mul).
+		MapIdx(pe.coeffFn()).
+		Reduce(algebra.Add)
+}
+
+// Program2 is PolyEval_2 (equation (19)): the result of applying rule
+// BS-Comcast to Program1 with the rewrite engine, i.e.
+//
+//	bcast ; map# op_poly ; map2(×) as ; reduce(+)
+func (pe *PolyEval) Program2() core.Program {
+	eng := rules.NewEngine()
+	opt, apps := eng.Optimize(pe.Program1().Term())
+	if len(apps) != 1 || apps[0].Rule != "BS-Comcast" {
+		panic(fmt.Sprintf("exper: BS-Comcast did not apply to PolyEval_1: %v", apps))
+	}
+	return core.FromTerm(opt)
+}
+
+// Program3 is PolyEval_3 (equation (20)): the two local stages of
+// Program2 fused into one, map2#(op_new as):
+//
+//	bcast ; map2# (op_new as) ; reduce(+)
+func (pe *PolyEval) Program3() core.Program {
+	ops := algebra.OpCompBS(algebra.Mul)
+	opNew := &term.IdxFn{
+		Name: "op_new",
+		F: func(i int, v algebra.Value) algebra.Value {
+			powed := algebra.First(ops.Repeat(i, ops.Prepare(v)))
+			return algebra.Mul.Apply(algebra.Scalar(pe.Coeffs[i]), powed)
+		},
+		Charge: func(i, m int) float64 {
+			return ops.RepeatCharge(i, m) + float64(m)
+		},
+	}
+	return core.NewProgram().
+		Bcast().
+		MapIdx(opNew).
+		Reduce(algebra.Add)
+}
+
+// ProgramComcastOptimal replaces the bcast; repeat of Program3 with the
+// cost-optimal doubling comcast — the slower alternative of §3.4, for the
+// Figures 7/8 comparison in the polynomial setting.
+func (pe *PolyEval) ProgramComcastOptimal() core.Program {
+	ops := algebra.OpCompBS(algebra.Mul)
+	return core.FromTerm(term.Seq{
+		term.Comcast{Ops: ops, CostOptimal: true},
+		term.MapIdx{F: pe.coeffFn()},
+		term.Reduce{Op: algebra.Add},
+	})
+}
+
+// input builds the per-processor input list: the points on the first
+// processor (broadcast sources ignore the rest, but reduce semantics make
+// every processor hold a block of the right shape).
+func (pe *PolyEval) input(p int) []algebra.Value {
+	in := make([]algebra.Value, p)
+	for i := range in {
+		in[i] = pe.Points.Clone()
+	}
+	return in
+}
+
+// Result compares one program variant against the reference.
+type Result struct {
+	// Name labels the variant.
+	Name string
+	// Makespan is the measured virtual run time.
+	Makespan float64
+	// Correct reports whether the first processor holds the reference
+	// polynomial values.
+	Correct bool
+}
+
+// Run measures every variant on a machine with len(Coeffs) processors and
+// the given communication parameters, checking each against Reference.
+func (pe *PolyEval) Run(ts, tw float64) []Result {
+	p := len(pe.Coeffs)
+	mach := core.Machine{Ts: ts, Tw: tw, P: p, M: len(pe.Points)}
+	want := pe.Reference()
+	variants := []struct {
+		name string
+		prog core.Program
+	}{
+		{"PolyEval_1 (bcast; scan)", pe.Program1()},
+		{"PolyEval_2 (BS-Comcast)", pe.Program2()},
+		{"PolyEval_3 (fused locals)", pe.Program3()},
+		{"comcast (cost-optimal)", pe.ProgramComcastOptimal()},
+	}
+	var out []Result
+	for _, v := range variants {
+		got, res := v.prog.Run(mach, pe.input(p))
+		out = append(out, Result{
+			Name:     v.name,
+			Makespan: res.Makespan,
+			Correct:  algebra.Equal(got[0], want),
+		})
+	}
+	return out
+}

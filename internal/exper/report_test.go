@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContainsEverySection(t *testing.T) {
+	// Small machine keeps the test fast.
+	out := Report(ReportConfig{Ts: 2000, Tw: 1, P: 8, M: 8})
+	for _, want := range []string{
+		"### Table 1 — start-up-dominated",
+		"### Table 1 — bandwidth-dominated",
+		"### Figure 2",
+		"### Figure 3",
+		"### Figure 7",
+		"### Figure 8",
+		"### Crossovers",
+		"### §5 case study",
+		"SR2-Reduction",
+		"CR-AllLocal",
+		"bcast; repeat",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "WRONG RESULT") {
+		t.Error("report contains a wrong polynomial result")
+	}
+}
+
+func TestReportDefaults(t *testing.T) {
+	cfg := ReportConfig{}.defaults()
+	if cfg.Ts != 5000 || cfg.Tw != 1 || cfg.P != 32 || cfg.M != 16 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestReportTable1AgreesWithItself(t *testing.T) {
+	// Every Table 1 line in the report must show matching predicted and
+	// measured verdicts ("true / true" or "false / false").
+	out := Report(ReportConfig{Ts: 2000, Tw: 1, P: 8, M: 8})
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "true / false") || strings.Contains(line, "false / true") {
+			t.Errorf("prediction/measurement disagreement: %s", line)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+)
+
+// SpeedupRow is one machine size in an application strong-scaling table.
+type SpeedupRow struct {
+	// P is the machine size.
+	P int
+	// Time is the measured virtual run time.
+	Time float64
+	// Speedup is Time(p=1)/Time(p), Efficiency is Speedup/p.
+	Speedup, Efficiency float64
+}
+
+// AppSpeedup measures strong scaling of one of the collective-only
+// applications: the same N-element problem on growing machines, with
+// speedup relative to the single-processor run under the same cost
+// model. app is "mss", "samplesort" or "statistics".
+func AppSpeedup(app string, ts, tw float64, n int, ps []int) []SpeedupRow {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64((i*2654435761)%101) - 50
+	}
+	runOne := func(p int) float64 {
+		mach := apps.Machine{P: p, Ts: ts, Tw: tw}
+		switch app {
+		case "mss":
+			_, res := apps.MSS(mach, xs)
+			return res.Makespan
+		case "samplesort":
+			_, res := apps.SampleSort(mach, xs)
+			return res.Makespan
+		case "statistics":
+			_, res := apps.Statistics(mach, xs)
+			return res.Makespan
+		}
+		panic(fmt.Sprintf("exper: unknown application %q", app))
+	}
+	base := runOne(1)
+	rows := make([]SpeedupRow, 0, len(ps))
+	for _, p := range ps {
+		t := runOne(p)
+		row := SpeedupRow{P: p, Time: t}
+		if t > 0 {
+			row.Speedup = base / t
+			row.Efficiency = row.Speedup / float64(p)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatSpeedup renders a speedup table.
+func FormatSpeedup(app string, rows []SpeedupRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s strong scaling:\n", app)
+	fmt.Fprintf(&b, "%6s %14s %10s %11s\n", "p", "time", "speedup", "efficiency")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %14.0f %10.2f %10.0f%%\n", r.P, r.Time, r.Speedup, 100*r.Efficiency)
+	}
+	return b.String()
+}

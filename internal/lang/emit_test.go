@@ -1,0 +1,90 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+func TestFormatMPIStandardCollectives(t *testing.T) {
+	prog, err := Parse("bcast ; scan(+) ; reduce(*) ; allreduce(max) ; gather ; scatter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatMPI(prog)
+	for _, want := range []string{
+		"MPI_Bcast (v0, count, type, root, comm);",
+		"MPI_Scan (v0, v1, count, type, MPI_SUM, comm);",
+		"MPI_Reduce (v1, v2, count, type, MPI_PROD, root, comm);",
+		"MPI_Allreduce (v2, v3, count, type, MPI_MAX, comm);",
+		"MPI_Gather (v3, count, type, v4",
+		"MPI_Scatter (v4, count, type, v5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emitted code missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatMPIRoundTripsThroughParseMPI(t *testing.T) {
+	// Standard-collective programs survive term → MPI text → term.
+	prog, err := Parse("bcast ; scan(+) ; reduce(*)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatMPI(prog)
+	again, err := ParseMPI(text, nil)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if !term.EqualTerms(prog, again) {
+		t.Fatalf("round trip changed the program:\n%s\n-> %s", text, again)
+	}
+}
+
+func TestFormatMPINewCollectives(t *testing.T) {
+	// An optimized program uses the paper's new collectives; the emitter
+	// marks them with their defining sections.
+	prog, err := Parse("scan(+) ; reduce(+)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := rules.NewEngine()
+	opt, apps := eng.Optimize(prog)
+	if len(apps) == 0 {
+		t.Fatal("no rule applied")
+	}
+	out := FormatMPI(opt)
+	if !strings.Contains(out, "Reduce_balanced") || !strings.Contains(out, "§3.2") {
+		t.Fatalf("emitted code:\n%s", out)
+	}
+	if !strings.Contains(out, "v1 = pair ( v0 );") {
+		t.Fatalf("pair stage missing:\n%s", out)
+	}
+}
+
+func TestFormatMPIComcastAndIter(t *testing.T) {
+	ops := algebra.OpCompBS(algebra.Add)
+	br := algebra.OpBR(algebra.Mul)
+	prog := term.Seq{
+		term.Comcast{Ops: ops},
+		term.Comcast{Ops: ops, CostOptimal: true},
+		term.Iter{Op: br},
+	}
+	out := FormatMPI(prog)
+	if !strings.Contains(out, "bcast+repeat") || !strings.Contains(out, "successive doubling") {
+		t.Fatalf("comcast implementations not distinguished:\n%s", out)
+	}
+	if !strings.Contains(out, "iter ( op_br(*)") {
+		t.Fatalf("iter missing:\n%s", out)
+	}
+}
+
+func TestMpiOpNameFallsBackToOwnName(t *testing.T) {
+	if got := mpiOpName(algebra.Left); got != "left" {
+		t.Fatalf("mpiOpName(left) = %q", got)
+	}
+}

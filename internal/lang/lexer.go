@@ -1,0 +1,164 @@
+// Package lang provides a small textual front-end for the formal
+// framework: a lexer and parser for program terms written in the paper's
+// notation, e.g.
+//
+//	bcast ; scan(+) ; reduce(*)
+//	map pair ; allreduce(max) ; map pi_1
+//
+// The parser produces term.Term values ready for the optimizer, the cost
+// estimator and the virtual machine. Operators and map functions are
+// resolved against a Symbols table pre-loaded with the standard base
+// operators and auxiliary functions; comments run from '#' to end of line.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier such as scan, bcast, pair, max.
+	TokIdent
+	// TokOp is a symbolic operator: + * - and friends.
+	TokOp
+	// TokSemi is the composition separator ';'.
+	TokSemi
+	// TokLParen is '('.
+	TokLParen
+	// TokRParen is ')'.
+	TokRParen
+	// TokComma is ','.
+	TokComma
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokOp:
+		return "operator"
+	case TokSemi:
+		return "';'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	// Pos is the 0-based byte offset, Line/Col are 1-based.
+	Pos, Line, Col int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a lexing or parsing error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errorf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// symbolic operator characters accepted as TokOp. The colon appears in
+// the MPI notation's Program headers (x: input).
+const opChars = "+*-/<>=&|^%:"
+
+// Lex tokenizes src. It returns the token stream ending in TokEOF, or a
+// positioned error on an unexpected character.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(kind TokenKind, text string) {
+		toks = append(toks, Token{Kind: kind, Text: text, Pos: i, Line: line, Col: col})
+	}
+	for i < n {
+		c := rune(src[i])
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == ';':
+			emit(TokSemi, ";")
+			i++
+			col++
+		case c == '(':
+			emit(TokLParen, "(")
+			i++
+			col++
+		case c == ')':
+			emit(TokRParen, ")")
+			i++
+			col++
+		case c == ',':
+			emit(TokComma, ",")
+			i++
+			col++
+		case strings.ContainsRune(opChars, c):
+			start := i
+			startCol := col
+			for i < n && strings.ContainsRune(opChars, rune(src[i])) {
+				i++
+				col++
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: src[start:i], Pos: start, Line: line, Col: startCol})
+		case isIdentStart(c):
+			start := i
+			startCol := col
+			for i < n && isIdentRune(rune(src[i])) {
+				i++
+				col++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start, Line: line, Col: startCol})
+		default:
+			return nil, errorf(line, col, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+// ParseMPI parses a program in the paper's §2.1 MPI-like notation — the
+// concrete syntax of program Example — into a term:
+//
+//	Program Example (x: input, v: output);
+//	y = f ( x );
+//	MPI_Scan (y, z, count1, type, op1, comm);
+//	MPI_Reduce (z, u, count2, type, op2, root, comm);
+//	v = g ( u );
+//	MPI_Bcast (v, count3, type, root, comm);
+//
+// Supported statements:
+//
+//	out = f ( in );                                   local stage map f
+//	MPI_Scan (in, out, count, type, op, comm);        scan(op)
+//	MPI_Reduce (in, out, count, type, op, root, comm);   reduce(op)
+//	MPI_Allreduce (in, out, count, type, op, comm);   allreduce(op)
+//	MPI_Bcast (buf, count, type, root, comm);         bcast
+//
+// The Program header line is optional. count, type, root and comm
+// arguments are accepted and ignored, as §2.2 does ("we omit the size and
+// the type of the data … we can omit the name of the MPI communicator").
+// Operators resolve through syms (MPI_SUM, MPI_PROD, MPI_MAX, MPI_MIN are
+// pre-mapped; further names fall back to the symbol table, so op1 can be
+// registered by the caller), and local function names resolve through the
+// symbol table's functions.
+//
+// Dataflow is checked: each statement must consume the variable the
+// previous statement produced, catching the transcription errors the
+// positional MPI argument lists invite.
+func ParseMPI(src string, syms *Symbols) (term.Term, error) {
+	if syms == nil {
+		syms = NewSymbols()
+	}
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &mpiParser{parser: parser{toks: toks, syms: syms}}
+	return p.program()
+}
+
+// mpiOps maps the predefined MPI reduction operators.
+var mpiOps = map[string]*algebra.Op{
+	"MPI_SUM":  algebra.Add,
+	"MPI_PROD": algebra.Mul,
+	"MPI_MAX":  algebra.Max,
+	"MPI_MIN":  algebra.Min,
+}
+
+type mpiParser struct {
+	parser
+	// current is the variable holding the running value; "" before the
+	// first statement.
+	current string
+}
+
+func (p *mpiParser) program() (term.Term, error) {
+	// Optional header: Program NAME ( … ) ;
+	if t := p.peek(); t.Kind == TokIdent && t.Text == "Program" {
+		if err := p.skipHeader(); err != nil {
+			return nil, err
+		}
+	}
+	var stages term.Seq
+	for p.peek().Kind != TokEOF {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, st)
+		if p.peek().Kind == TokSemi {
+			p.next()
+		}
+	}
+	if len(stages) == 0 {
+		t := p.peek()
+		return nil, errorf(t.Line, t.Col, "empty program")
+	}
+	return stages, nil
+}
+
+func (p *mpiParser) skipHeader() error {
+	p.next() // Program
+	if _, err := p.expect(TokIdent); err != nil {
+		return err // program name
+	}
+	if p.peek().Kind == TokLParen {
+		depth := 0
+		for {
+			t := p.next()
+			switch t.Kind {
+			case TokLParen:
+				depth++
+			case TokRParen:
+				depth--
+				if depth == 0 {
+					goto done
+				}
+			case TokEOF:
+				return errorf(t.Line, t.Col, "unterminated Program header")
+			}
+		}
+	}
+done:
+	if p.peek().Kind == TokSemi {
+		p.next()
+	}
+	return nil
+}
+
+func (p *mpiParser) statement() (term.Term, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch name.Text {
+	case "MPI_Scan":
+		in, out, op, err := p.mpiArgs(name, 6, 4)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.chain(name, in, out); err != nil {
+			return nil, err
+		}
+		return term.Scan{Op: op}, nil
+	case "MPI_Reduce":
+		in, out, op, err := p.mpiArgs(name, 7, 4)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.chain(name, in, out); err != nil {
+			return nil, err
+		}
+		return term.Reduce{Op: op}, nil
+	case "MPI_Allreduce":
+		in, out, op, err := p.mpiArgs(name, 6, 4)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.chain(name, in, out); err != nil {
+			return nil, err
+		}
+		return term.Reduce{Op: op, All: true}, nil
+	case "MPI_Bcast":
+		args, err := p.argList(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 5 {
+			return nil, errorf(name.Line, name.Col, "MPI_Bcast takes 5 arguments, got %d", len(args))
+		}
+		// Bcast is in-place: the buffer is both input and output.
+		if err := p.chain(name, args[0], args[0]); err != nil {
+			return nil, err
+		}
+		return term.Bcast{}, nil
+	default:
+		// Assignment: out = f ( in )
+		return p.assignment(name)
+	}
+}
+
+// mpiArgs parses the argument list of a collective with the given arity
+// and resolves the operator at opIdx: (in, out, …, op, …).
+func (p *mpiParser) mpiArgs(name Token, arity, opIdx int) (in, out string, op *algebra.Op, err error) {
+	args, err := p.argList(name)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if len(args) != arity {
+		return "", "", nil, errorf(name.Line, name.Col,
+			"%s takes %d arguments, got %d", name.Text, arity, len(args))
+	}
+	opName := args[opIdx]
+	op, ok := mpiOps[opName]
+	if !ok {
+		op, ok = p.syms.Op(opName)
+	}
+	if !ok {
+		return "", "", nil, errorf(name.Line, name.Col, "unknown reduction operator %q", opName)
+	}
+	return args[0], args[1], op, nil
+}
+
+// argList parses ( ident , ident , … ).
+func (p *mpiParser) argList(name Token) ([]string, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, errorf(t.Line, t.Col, "expected an argument name in %s(…), found %s", name.Text, t)
+		}
+		args = append(args, t.Text)
+		sep := p.next()
+		switch sep.Kind {
+		case TokComma:
+			continue
+		case TokRParen:
+			return args, nil
+		default:
+			return nil, errorf(sep.Line, sep.Col, "expected ',' or ')' in %s(…), found %s", name.Text, sep)
+		}
+	}
+}
+
+// assignment parses out = f ( in ).
+func (p *mpiParser) assignment(out Token) (term.Term, error) {
+	eq := p.next()
+	if eq.Kind != TokOp || eq.Text != "=" {
+		return nil, errorf(eq.Line, eq.Col, "expected '=' or an MPI collective after %q, found %s", out.Text, eq)
+	}
+	fname, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := p.syms.Fn(fname.Text)
+	if !ok {
+		return nil, errorf(fname.Line, fname.Col, "unknown local function %q", fname.Text)
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	in, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if err := p.chain(out, in.Text, out.Text); err != nil {
+		return nil, err
+	}
+	return term.Map{F: fn}, nil
+}
+
+// chain enforces dataflow: in must be the current value's variable.
+func (p *mpiParser) chain(at Token, in, out string) error {
+	if p.current != "" && in != p.current {
+		return errorf(at.Line, at.Col,
+			"dataflow break: statement consumes %q but the running value is in %q", in, p.current)
+	}
+	p.current = out
+	return nil
+}

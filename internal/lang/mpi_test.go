@@ -1,0 +1,149 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+// examplePaperText is program Example verbatim from §2.1, with op1/op2
+// instantiated to the predefined MPI operators.
+const examplePaperText = `
+Program Example (x: input, v: output);
+y = f ( x );
+MPI_Scan (y, z, count1, type, MPI_PROD, comm);
+MPI_Reduce (z, u, count2, type, MPI_SUM, root, comm);
+v = g ( u );
+MPI_Bcast (v, count3, type, root, comm);
+`
+
+func mpiSyms() *Symbols {
+	syms := NewSymbols()
+	syms.DefineFn(&term.Fn{Name: "f", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, algebra.Scalar(1))
+	}})
+	syms.DefineFn(&term.Fn{Name: "g", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Mul.Apply(v, algebra.Scalar(2))
+	}})
+	return syms
+}
+
+func TestParseMPIExampleProgram(t *testing.T) {
+	prog, err := ParseMPI(examplePaperText, mpiSyms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "map f ; scan(*) ; reduce(+) ; map g ; bcast"
+	if got := prog.String(); got != want {
+		t.Fatalf("parsed = %q, want %q", got, want)
+	}
+}
+
+func TestParseMPIWithoutHeader(t *testing.T) {
+	prog, err := ParseMPI("MPI_Bcast (v, c, t, root, comm); MPI_Scan (v, w, c, t, MPI_SUM, comm);", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.String(); got != "bcast ; scan(+)" {
+		t.Fatalf("parsed = %q", got)
+	}
+}
+
+func TestParseMPIAllreduce(t *testing.T) {
+	prog, err := ParseMPI("MPI_Allreduce (a, b, c, t, MPI_MAX, comm);", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := term.Stages(prog)
+	r, ok := stages[0].(term.Reduce)
+	if !ok || !r.All || r.Op != algebra.Max {
+		t.Fatalf("parsed = %v", prog)
+	}
+}
+
+func TestParseMPICustomOperator(t *testing.T) {
+	syms := NewSymbols()
+	// op1 from the paper, registered by the programmer.
+	op1 := algebra.NewBase("op1", func(x, y float64) float64 { return x + y })
+	syms.DefineOp(op1)
+	prog, err := ParseMPI("MPI_Scan (x, y, c, t, op1, comm);", syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := term.Stages(prog)[0].(term.Scan); s.Op != op1 {
+		t.Fatalf("operator not resolved: %v", prog)
+	}
+}
+
+func TestParseMPIDataflowCheck(t *testing.T) {
+	// The reduce consumes y, but the scan produced z.
+	src := `
+MPI_Scan (x, z, c, t, MPI_SUM, comm);
+MPI_Reduce (y, u, c, t, MPI_SUM, root, comm);
+`
+	_, err := ParseMPI(src, nil)
+	if err == nil || !strings.Contains(err.Error(), "dataflow break") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseMPIBcastInPlaceChains(t *testing.T) {
+	// Bcast is in-place: v stays the running variable.
+	src := `
+MPI_Bcast (v, c, t, root, comm);
+MPI_Scan (v, w, c, t, MPI_SUM, comm);
+MPI_Reduce (w, u, c, t, MPI_PROD, root, comm);
+`
+	prog, err := ParseMPI(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.String(); got != "bcast ; scan(+) ; reduce(*)" {
+		t.Fatalf("parsed = %q", got)
+	}
+}
+
+func TestParseMPIErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"", "empty program"},
+		{"MPI_Scan (x, y, c, t, MPI_SUM);", "6 arguments, got 5"},
+		{"MPI_Bcast (v, c, t, root);", "5 arguments, got 4"},
+		{"MPI_Reduce (x, y, c, t, NOPE, root, comm);", "unknown reduction operator"},
+		{"y = nope ( x );", "unknown local function"},
+		{"y + f ( x );", "expected '='"},
+		{"MPI_Scan (x; y);", "expected ',' or ')'"},
+		{"Program Broken (x", "unterminated Program header"},
+		{"MPI_Scan (x, y, c, t, MPI_SUM, comm); y = f ( q );", "dataflow break"},
+	}
+	syms := mpiSyms()
+	for _, c := range cases {
+		_, err := ParseMPI(c.src, syms)
+		if err == nil {
+			t.Errorf("ParseMPI(%q) succeeded, want error with %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseMPI(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// TestParseMPIAgreesWithCompactNotation: both front-ends produce
+// structurally equal terms.
+func TestParseMPIAgreesWithCompactNotation(t *testing.T) {
+	a, err := ParseMPI("MPI_Bcast (v, c, t, r, comm); MPI_Scan (v, w, c, t, MPI_SUM, comm);", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("bcast ; scan(+)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.EqualTerms(a, b) {
+		t.Fatalf("front-ends disagree: %v vs %v", a, b)
+	}
+}

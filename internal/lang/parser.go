@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+// Symbols resolves operator and function names during parsing.
+type Symbols struct {
+	ops map[string]*algebra.Op
+	fns map[string]*term.Fn
+}
+
+// NewSymbols returns a table pre-loaded with the standard base operators
+// (+, *, max, min, left, -) and the auxiliary functions (pair, triple,
+// quadruple, pi_1).
+func NewSymbols() *Symbols {
+	s := &Symbols{
+		ops: make(map[string]*algebra.Op),
+		fns: make(map[string]*term.Fn),
+	}
+	for _, op := range []*algebra.Op{
+		algebra.Add, algebra.Mul, algebra.Max, algebra.Min, algebra.Left, algebra.Sub,
+	} {
+		s.DefineOp(op)
+	}
+	for _, fn := range []*term.Fn{
+		term.PairFn, term.TripleFn, term.QuadrupleFn, term.FirstFn,
+	} {
+		s.DefineFn(fn)
+	}
+	return s
+}
+
+// DefineOp registers an operator under its name.
+func (s *Symbols) DefineOp(op *algebra.Op) { s.ops[op.Name] = op }
+
+// DefineFn registers a map function under its name.
+func (s *Symbols) DefineFn(fn *term.Fn) { s.fns[fn.Name] = fn }
+
+// Op looks up an operator by name.
+func (s *Symbols) Op(name string) (*algebra.Op, bool) {
+	op, ok := s.ops[name]
+	return op, ok
+}
+
+// Fn looks up a map function by name.
+func (s *Symbols) Fn(name string) (*term.Fn, bool) {
+	fn, ok := s.fns[name]
+	return fn, ok
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+	syms *Symbols
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, errorf(t.Line, t.Col, "expected %s, found %s", kind, t)
+	}
+	return t, nil
+}
+
+// Parse parses a program in the paper's notation:
+//
+//	program := stage (';' stage)*
+//	stage   := 'bcast'
+//	         | ('scan' | 'reduce' | 'allreduce') '(' opname ')'
+//	         | 'map' fnname
+//
+// resolving names against syms (nil means NewSymbols()).
+func Parse(src string, syms *Symbols) (term.Term, error) {
+	if syms == nil {
+		syms = NewSymbols()
+	}
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, syms: syms}
+	var stages term.Seq
+	for {
+		st, err := p.stage()
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, st)
+		if p.peek().Kind != TokSemi {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokEOF); err != nil {
+		return nil, err
+	}
+	return stages, nil
+}
+
+func (p *parser) stage() (term.Term, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Text {
+	case "bcast":
+		return term.Bcast{}, nil
+	case "gather":
+		return term.Gather{}, nil
+	case "scatter":
+		return term.Scatter{}, nil
+	case "scan":
+		op, err := p.opArg(t)
+		if err != nil {
+			return nil, err
+		}
+		return term.Scan{Op: op}, nil
+	case "reduce":
+		op, err := p.opArg(t)
+		if err != nil {
+			return nil, err
+		}
+		return term.Reduce{Op: op}, nil
+	case "allreduce":
+		op, err := p.opArg(t)
+		if err != nil {
+			return nil, err
+		}
+		return term.Reduce{Op: op, All: true}, nil
+	case "map":
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := p.syms.Fn(name.Text)
+		if !ok {
+			return nil, errorf(name.Line, name.Col, "unknown map function %q", name.Text)
+		}
+		return term.Map{F: fn}, nil
+	default:
+		return nil, errorf(t.Line, t.Col, "unknown stage %q (expected bcast, gather, scatter, scan, reduce, allreduce or map)", t.Text)
+	}
+}
+
+// opArg parses '(' opname ')' and resolves the operator.
+func (p *parser) opArg(stage Token) (*algebra.Op, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.Kind != TokIdent && t.Kind != TokOp {
+		return nil, errorf(t.Line, t.Col, "expected an operator name after %s(, found %s", stage.Text, t)
+	}
+	op, ok := p.syms.Op(t.Text)
+	if !ok {
+		return nil, errorf(t.Line, t.Col, "unknown operator %q", t.Text)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Usage summarizes how one processor spent its virtual time.
+type Usage struct {
+	// Compute is the time spent in local computation.
+	Compute float64
+	// Comm is the time spent sending, receiving and exchanging
+	// (including the wait for a late sender, which this model folds
+	// into the transfer interval).
+	Comm float64
+	// Idle is the remaining time before the processor's finish.
+	Idle float64
+	// Finish is the processor's final clock.
+	Finish float64
+}
+
+// Analyze aggregates a trace into per-processor usage. Overlapping
+// intervals cannot occur (a processor does one thing at a time), so the
+// busy time is the plain sum of event durations.
+func Analyze(events []Event, procs int) []Usage {
+	out := make([]Usage, procs)
+	for _, e := range events {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		d := e.End - e.Start
+		switch e.Kind {
+		case EvCompute:
+			out[e.Proc].Compute += d
+		case EvSend, EvRecv, EvExchange:
+			out[e.Proc].Comm += d
+		}
+		if e.End > out[e.Proc].Finish {
+			out[e.Proc].Finish = e.End
+		}
+	}
+	for i := range out {
+		out[i].Idle = out[i].Finish - out[i].Compute - out[i].Comm
+		if out[i].Idle < 0 {
+			out[i].Idle = 0
+		}
+	}
+	return out
+}
+
+// StageCost is the makespan contribution of one marked program stage: the
+// maximum, over processors, of the time between the stage's mark and the
+// next mark (or the processor's finish).
+type StageCost struct {
+	// Label is the stage label passed to Proc.Mark.
+	Label string
+	// Time is the stage's critical-path duration.
+	Time float64
+}
+
+// StageBreakdown splits a trace at the Mark events each processor
+// emitted: stage k spans from the k-th mark to the (k+1)-th (or the
+// processor's finish), and its cost is the maximum span over processors.
+// All processors must have emitted the same mark sequence, which the SPMD
+// executor guarantees.
+func StageBreakdown(events []Event, procs int) []StageCost {
+	marks := make([][]Event, procs)
+	finish := make([]float64, procs)
+	for _, e := range events {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		if e.Kind == EvMark {
+			marks[e.Proc] = append(marks[e.Proc], e)
+		}
+		if e.End > finish[e.Proc] {
+			finish[e.Proc] = e.End
+		}
+	}
+	if procs == 0 || len(marks[0]) == 0 {
+		return nil
+	}
+	n := len(marks[0])
+	for p := 1; p < procs; p++ {
+		if len(marks[p]) != n {
+			panic(fmt.Sprintf("machine: processor %d emitted %d marks, processor 0 emitted %d",
+				p, len(marks[p]), n))
+		}
+	}
+	out := make([]StageCost, n)
+	for k := 0; k < n; k++ {
+		out[k].Label = marks[0][k].Label
+		for p := 0; p < procs; p++ {
+			end := finish[p]
+			if k+1 < n {
+				end = marks[p][k+1].Start
+			}
+			if d := end - marks[p][k].Start; d > out[k].Time {
+				out[k].Time = d
+			}
+		}
+	}
+	return out
+}
+
+// FormatProfile renders usage and stage breakdown as a small report.
+func FormatProfile(usage []Usage, stages []StageCost) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s\n", "proc", "compute", "comm", "idle", "finish")
+	for i, u := range usage {
+		fmt.Fprintf(&b, "P%-5d %10.0f %10.0f %10.0f %10.0f\n", i, u.Compute, u.Comm, u.Idle, u.Finish)
+	}
+	if len(stages) > 0 {
+		b.WriteString("\nstage breakdown (critical path):\n")
+		total := 0.0
+		for _, s := range stages {
+			total += s.Time
+		}
+		// Render in program order, but give shares of the total.
+		for _, s := range stages {
+			share := 0.0
+			if total > 0 {
+				share = 100 * s.Time / total
+			}
+			fmt.Fprintf(&b, "  %-40s %10.0f  (%4.1f%%)\n", s.Label, s.Time, share)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/term"
+)
+
+// Application records one rule application performed by the Engine.
+type Application struct {
+	// Rule is the name of the applied rule.
+	Rule string
+	// Pos is the stage index at which the left-hand side matched.
+	Pos int
+	// Before and After are the matched window and its replacement.
+	Before, After []term.Term
+	// CostBefore and CostAfter are the cost estimates of the window,
+	// populated when the engine is cost-guided.
+	CostBefore, CostAfter float64
+}
+
+func (a Application) String() string {
+	return fmt.Sprintf("%s @%d: %s  =>  %s", a.Rule, a.Pos, term.Seq(a.Before), term.Seq(a.After))
+}
+
+// Engine applies optimization rules over a term.
+type Engine struct {
+	// Env supplies the property registry and machine size.
+	Env Env
+	// Rules is the rule set in priority order; nil means All().
+	Rules []Rule
+	// Params, when non-nil, makes the engine cost-guided: a rule is
+	// applied only if the cost estimate of the replacement is strictly
+	// lower than that of the matched window — the design discipline of
+	// §4, mechanized.
+	Params *cost.Params
+}
+
+// NewEngine returns an exhaustive engine over all rules with the default
+// environment.
+func NewEngine() *Engine {
+	return &Engine{Env: DefaultEnv()}
+}
+
+// NewCostGuidedEngine returns an engine that only applies rules improving
+// the cost estimate at the given machine parameters.
+func NewCostGuidedEngine(p cost.Params) *Engine {
+	e := NewEngine()
+	e.Params = &p
+	e.Env.P = p.P
+	return e
+}
+
+func (e *Engine) rules() []Rule {
+	if e.Rules != nil {
+		return e.Rules
+	}
+	return All()
+}
+
+// Step performs the first applicable rule application, scanning stages
+// left to right and trying rules in priority order at each position. It
+// returns the rewritten term and the application, or ok = false if no
+// rule applies.
+func (e *Engine) Step(t term.Term) (term.Term, Application, bool) {
+	stages := term.Stages(t)
+	for i := range stages {
+		for _, r := range e.rules() {
+			if i+r.Window > len(stages) {
+				continue
+			}
+			window := stages[i : i+r.Window]
+			repl, ok := r.Try(window, e.Env)
+			if !ok {
+				continue
+			}
+			app := Application{
+				Rule:   r.Name,
+				Pos:    i,
+				Before: append([]term.Term(nil), window...),
+				After:  repl,
+			}
+			if e.Params != nil {
+				app.CostBefore = cost.OfTerm(term.Seq(window), *e.Params)
+				app.CostAfter = cost.OfTerm(term.Seq(repl), *e.Params)
+				if app.CostAfter >= app.CostBefore && !(r.CostNeutral && app.CostAfter == app.CostBefore) {
+					continue
+				}
+			}
+			out := make([]term.Term, 0, len(stages)-r.Window+len(repl))
+			out = append(out, stages[:i]...)
+			out = append(out, repl...)
+			out = append(out, stages[i+r.Window:]...)
+			return term.Seq(out), app, true
+		}
+	}
+	return t, Application{}, false
+}
+
+// Optimize applies Step until no rule applies, returning the final term
+// and the applications performed in order. Termination is guaranteed:
+// every rule strictly decreases the number of collective operations.
+func (e *Engine) Optimize(t term.Term) (term.Term, []Application) {
+	var apps []Application
+	for {
+		next, app, ok := e.Step(t)
+		if !ok {
+			return t, apps
+		}
+		t = next
+		apps = append(apps, app)
+	}
+}
+
+// Applicable lists, without rewriting, every (position, rule) pair whose
+// pattern and conditions match in the term — the menu the programmer
+// chooses from in the paper's methodical design process.
+func (e *Engine) Applicable(t term.Term) []Application {
+	stages := term.Stages(t)
+	var out []Application
+	for i := range stages {
+		for _, r := range e.rules() {
+			if i+r.Window > len(stages) {
+				continue
+			}
+			window := stages[i : i+r.Window]
+			repl, ok := r.Try(window, e.Env)
+			if !ok {
+				continue
+			}
+			app := Application{
+				Rule:   r.Name,
+				Pos:    i,
+				Before: append([]term.Term(nil), window...),
+				After:  repl,
+			}
+			if e.Params != nil {
+				app.CostBefore = cost.OfTerm(term.Seq(window), *e.Params)
+				app.CostAfter = cost.OfTerm(term.Seq(repl), *e.Params)
+			}
+			out = append(out, app)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/term"
+)
+
+func someFn(name string) *term.Fn {
+	return &term.Fn{Name: name, Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, algebra.Scalar(1))
+	}}
+}
+
+func TestBMMobility(t *testing.T) {
+	f := someFn("f")
+	repl := verifyRule(t, BMMobility, env(), term.Bcast{}, term.Map{F: f})
+	if len(repl) != 2 {
+		t.Fatalf("rewrite = %v", term.Seq(repl))
+	}
+	if _, ok := repl[0].(term.Map); !ok {
+		t.Fatalf("map should move first: %v", term.Seq(repl))
+	}
+	if _, ok := repl[1].(term.Bcast); !ok {
+		t.Fatalf("bcast should move second: %v", term.Seq(repl))
+	}
+}
+
+func TestBMMobilityOnlyAfterBcast(t *testing.T) {
+	refuseRule(t, BMMobility, env(), term.Scan{Op: algebra.Add}, term.Map{F: someFn("f")})
+}
+
+func TestMMLocalFusesAndPreservesSemantics(t *testing.T) {
+	f := someFn("f")
+	g := &term.Fn{Name: "g", Cost: 2, F: func(v algebra.Value) algebra.Value {
+		return algebra.Mul.Apply(v, algebra.Scalar(3))
+	}}
+	repl := verifyRule(t, MMLocal, env(), term.Map{F: f}, term.Map{F: g})
+	if len(repl) != 1 {
+		t.Fatalf("rewrite = %v", term.Seq(repl))
+	}
+	fused := repl[0].(term.Map)
+	if fused.F.Cost != 3 {
+		t.Fatalf("fused cost = %d, want 3", fused.F.Cost)
+	}
+	// (x+1)*3 at x = 4 → 15.
+	got := fused.F.F(algebra.Scalar(4))
+	if !algebra.Equal(got, algebra.Scalar(15)) {
+		t.Fatalf("fused function = %v, want 15", got)
+	}
+}
+
+func TestRBAllReduce(t *testing.T) {
+	repl := verifyRule(t, RBAllReduce, env(), term.Reduce{Op: algebra.Add}, term.Bcast{})
+	red, ok := repl[0].(term.Reduce)
+	if !ok || !red.All || len(repl) != 1 {
+		t.Fatalf("rewrite = %v", term.Seq(repl))
+	}
+}
+
+func TestRBAllReduceRejectsAllReduceAndBalanced(t *testing.T) {
+	refuseRule(t, RBAllReduce, env(), term.Reduce{Op: algebra.Add, All: true}, term.Bcast{})
+	sr := algebra.OpSR(algebra.Add)
+	refuseRule(t, RBAllReduce, env(), term.Reduce{Op: sr, Balanced: true}, term.Bcast{})
+}
+
+func TestBBBcast(t *testing.T) {
+	repl := verifyRule(t, BBBcast, env(), term.Bcast{}, term.Bcast{})
+	if len(repl) != 1 {
+		t.Fatalf("rewrite = %v", term.Seq(repl))
+	}
+}
+
+func TestABAllReduce(t *testing.T) {
+	repl := verifyRule(t, ABAllReduce, env(), term.Reduce{Op: algebra.Max, All: true}, term.Bcast{})
+	red, ok := repl[0].(term.Reduce)
+	if !ok || !red.All || len(repl) != 1 {
+		t.Fatalf("rewrite = %v", term.Seq(repl))
+	}
+}
+
+// TestMobilityUnblocksComcast is the §2.1 motivation mechanized: a local
+// stage parked between bcast and scan blocks every paper rule, and the
+// mobility extension moves it out of the way so BS-Comcast can fire.
+func TestMobilityUnblocksComcast(t *testing.T) {
+	f := someFn("f")
+	prog := term.Seq{term.Bcast{}, term.Map{F: f}, term.Scan{Op: algebra.Add}}
+
+	// Paper rules alone: stuck.
+	paperOnly := NewEngine()
+	_, apps := paperOnly.Optimize(prog)
+	if len(apps) != 0 {
+		t.Fatalf("paper rules applied unexpectedly: %v", apps)
+	}
+
+	// With extensions: mobility, then comcast.
+	ext := NewEngine()
+	ext.Rules = AllWithExtensions()
+	out, apps := ext.Optimize(prog)
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Rule
+	}
+	if len(apps) != 2 || names[0] != "BM-Mobility" || names[1] != "BS-Comcast" {
+		t.Fatalf("applications = %v", names)
+	}
+	if err := VerifyEquivalence(prog, out, VerifyConfig{Seed: 6, BlockWords: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceBcastChainCollapses checks a chain that needs two extension
+// fusions: reduce ; bcast ; bcast → allreduce.
+func TestReduceBcastChainCollapses(t *testing.T) {
+	prog := term.Seq{term.Reduce{Op: algebra.Add}, term.Bcast{}, term.Bcast{}}
+	e := NewEngine()
+	e.Rules = AllWithExtensions()
+	out, apps := e.Optimize(prog)
+	stages := term.Stages(out)
+	if len(stages) != 1 {
+		t.Fatalf("result = %s after %v", out, apps)
+	}
+	red, ok := stages[0].(term.Reduce)
+	if !ok || !red.All {
+		t.Fatalf("result = %s", out)
+	}
+	if err := VerifyEquivalence(prog, out, VerifyConfig{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostGuidedAppliesCostNeutralMobility: the cost-guided engine must
+// accept the zero-gain mobility move because it unlocks a strict gain.
+func TestCostGuidedAppliesCostNeutralMobility(t *testing.T) {
+	f := someFn("f")
+	prog := term.Seq{term.Bcast{}, term.Map{F: f}, term.Scan{Op: algebra.Add}}
+	p := cost.Params{Ts: 1000, Tw: 1, M: 8, P: 16}
+	e := NewCostGuidedEngine(p)
+	e.Rules = AllWithExtensions()
+	out, apps := e.Optimize(prog)
+	if len(apps) != 2 {
+		t.Fatalf("applications = %v", apps)
+	}
+	if cost.OfTerm(out, p) >= cost.OfTerm(prog, p) {
+		t.Fatalf("no net improvement: %s", out)
+	}
+}
+
+// TestExtensionEngineTerminatesOnAdversarialPrograms drives the extended
+// rule set over stage soups designed to trigger repeated mobility.
+func TestExtensionEngineTerminatesOnAdversarialPrograms(t *testing.T) {
+	f := someFn("f")
+	g := someFn("g")
+	progs := []term.Seq{
+		{term.Bcast{}, term.Bcast{}, term.Map{F: f}, term.Map{F: g}, term.Bcast{}},
+		{term.Bcast{}, term.Map{F: f}, term.Bcast{}, term.Map{F: g}, term.Scan{Op: algebra.Add}},
+		{term.Reduce{Op: algebra.Add}, term.Bcast{}, term.Scan{Op: algebra.Add}, term.Bcast{}, term.Map{F: f}},
+	}
+	for _, prog := range progs {
+		e := NewEngine()
+		e.Rules = AllWithExtensions()
+		out, apps := e.Optimize(prog) // must terminate
+		if len(apps) == 0 {
+			t.Fatalf("nothing applied to %s", prog)
+		}
+		if _, _, ok := e.Step(out); ok {
+			t.Fatalf("fixpoint not reached for %s", prog)
+		}
+		cfg := VerifyConfig{Seed: 13, Pow2Only: true}
+		if err := VerifyEquivalence(prog, out, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExtensionsHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range AllWithExtensions() {
+		if seen[r.Name] {
+			t.Fatalf("duplicate rule %s", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 rules total, got %d", len(seen))
+	}
+	if _, ok := ByName("BM-Mobility"); !ok {
+		t.Fatal("ByName does not see extensions")
+	}
+}

@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+// randProgram builds a random composition of local and collective stages
+// over operators whose algebraic properties the default registry knows,
+// so every rule has a chance to fire somewhere.
+func randProgram(rng *rand.Rand, maxStages int) term.Seq {
+	ops := []*algebra.Op{algebra.Add, algebra.Mul, algebra.Max, algebra.Min, algebra.Left}
+	inc := &term.Fn{Name: "inc", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, algebra.Scalar(1))
+	}}
+	n := 1 + rng.Intn(maxStages)
+	prog := make(term.Seq, 0, n)
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		switch rng.Intn(6) {
+		case 0:
+			prog = append(prog, term.Bcast{})
+		case 1:
+			prog = append(prog, term.Scan{Op: op})
+		case 2:
+			prog = append(prog, term.Reduce{Op: op})
+		case 3:
+			prog = append(prog, term.Reduce{Op: op, All: true})
+		case 4:
+			prog = append(prog, term.Map{F: inc})
+		case 5:
+			prog = append(prog, term.Map{F: term.PairFn}, term.Map{F: term.FirstFn})
+		}
+	}
+	return prog
+}
+
+// TestFuzzOptimizePreservesSemantics optimizes hundreds of random
+// programs — with the paper rules alone and with the extensions — and
+// verifies every result against the original under the functional
+// semantics on power-of-two machine sizes (the Local rules' domain).
+func TestFuzzOptimizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2029))
+	// Deep random chains of * push values far beyond the exact-integer
+	// float range, where the balanced collectives' reassociation flips
+	// low-order bits; compare with a relative tolerance.
+	cfg := VerifyConfig{Seed: 3, Trials: 6, Pow2Only: true, RelTol: 1e-9}
+	for trial := 0; trial < 300; trial++ {
+		prog := randProgram(rng, 7)
+
+		paper := NewEngine()
+		outP, _ := paper.Optimize(prog)
+		if err := VerifyEquivalence(prog, outP, cfg); err != nil {
+			t.Fatalf("paper rules broke trial %d:\n  program: %s\n  %v", trial, prog, err)
+		}
+
+		ext := NewEngine()
+		ext.Rules = AllWithExtensions()
+		outE, _ := ext.Optimize(prog)
+		if err := VerifyEquivalence(prog, outE, cfg); err != nil {
+			t.Fatalf("extensions broke trial %d:\n  program: %s\n  %v", trial, prog, err)
+		}
+		// The engines reached fixpoints.
+		if _, _, ok := paper.Step(outP); ok {
+			t.Fatalf("trial %d: paper engine left an applicable rule in %s", trial, outP)
+		}
+		if _, _, ok := ext.Step(outE); ok {
+			t.Fatalf("trial %d: extension engine left an applicable rule in %s", trial, outE)
+		}
+	}
+}
+
+// TestFuzzOptimizeNeverIncreasesCollectives checks the termination
+// measure's first component: no rewrite sequence increases the number of
+// collective stages.
+func TestFuzzOptimizeNeverIncreasesCollectives(t *testing.T) {
+	count := func(tm term.Term) int {
+		n := 0
+		for _, s := range term.Stages(tm) {
+			switch s.(type) {
+			case term.Map, term.MapIdx:
+			default:
+				n++
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		prog := randProgram(rng, 8)
+		e := NewEngine()
+		e.Rules = AllWithExtensions()
+		cur := term.Term(prog)
+		for {
+			next, _, ok := e.Step(cur)
+			if !ok {
+				break
+			}
+			if count(next) > count(cur) {
+				t.Fatalf("trial %d: collectives increased from %s to %s", trial, cur, next)
+			}
+			cur = next
+		}
+	}
+}

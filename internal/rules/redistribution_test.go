@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+func TestGSIdEliminatesRoundTrip(t *testing.T) {
+	repl := applyRule(t, GSId, env(), term.Gather{}, term.Scatter{})
+	if len(repl) != 0 {
+		t.Fatalf("GS-Id should remove both stages, got %v", term.Seq(repl))
+	}
+	// Semantic check with the default scalar inputs (gather then scatter
+	// accepts any per-processor values).
+	if err := VerifyEquivalence(
+		term.Seq{term.Gather{}, term.Scatter{}}, term.Seq{}, VerifyConfig{Seed: 31},
+	); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGIdEliminatesRoundTrip(t *testing.T) {
+	repl := applyRule(t, SGId, env(), term.Scatter{}, term.Gather{})
+	if len(repl) != 0 {
+		t.Fatalf("SG-Id should remove both stages, got %v", term.Seq(repl))
+	}
+	// scatter needs a list on the first processor: custom generator.
+	cfg := VerifyConfig{Seed: 32, Gen: func(rng *rand.Rand, n int) []algebra.Value {
+		in := make([]algebra.Value, n)
+		list := make(algebra.Tuple, n)
+		for i := range list {
+			list[i] = algebra.Scalar(float64(rng.Intn(9)))
+		}
+		in[0] = list
+		for i := 1; i < n; i++ {
+			in[i] = algebra.Undef{}
+		}
+		return in
+	}}
+	if err := VerifyEquivalence(
+		term.Seq{term.Scatter{}, term.Gather{}}, term.Seq{}, cfg,
+	); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistributionRulesRefuseWrongOrder(t *testing.T) {
+	refuseRule(t, GSId, env(), term.Scatter{}, term.Gather{})
+	refuseRule(t, SGId, env(), term.Gather{}, term.Scatter{})
+	refuseRule(t, GSId, env(), term.Gather{}, term.Bcast{})
+}
+
+func TestEngineRemovesRedistributionRoundTrip(t *testing.T) {
+	// A pipeline that gathers, scatters, and then scans: the round trip
+	// disappears and the scan remains.
+	prog := term.Seq{term.Gather{}, term.Scatter{}, term.Scan{Op: algebra.Add}}
+	e := NewEngine()
+	e.Rules = AllWithExtensions()
+	out, apps := e.Optimize(prog)
+	if len(apps) != 1 || apps[0].Rule != "GS-Id" {
+		t.Fatalf("applications = %v", apps)
+	}
+	stages := term.Stages(out)
+	if len(stages) != 1 {
+		t.Fatalf("result = %s", out)
+	}
+	if _, ok := stages[0].(term.Scan); !ok {
+		t.Fatalf("result = %s", out)
+	}
+}
+
+func TestGatherScatterSemantics(t *testing.T) {
+	in := []algebra.Value{algebra.Scalar(7), algebra.Scalar(8), algebra.Scalar(9)}
+	g := term.Eval(term.Gather{}, in)
+	list, ok := g[0].(algebra.Tuple)
+	if !ok || len(list) != 3 || !algebra.Equal(list[2], algebra.Scalar(9)) {
+		t.Fatalf("gather = %v", g)
+	}
+	for i := 1; i < 3; i++ {
+		if !algebra.IsUndef(g[i]) {
+			t.Fatalf("gather non-root = %v", g[i])
+		}
+	}
+	s := term.Eval(term.Scatter{}, g)
+	if !algebra.EqualLists(s, in) {
+		t.Fatalf("scatter(gather) = %v", s)
+	}
+}
+
+func TestScatterSemanticValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	term.Eval(term.Scatter{}, []algebra.Value{algebra.Scalar(1), algebra.Scalar(2)})
+}

@@ -1,0 +1,166 @@
+package term
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Eval computes the functional semantics of a term on an input list with
+// one value per processor, per equations (4)–(8) of the paper. It is the
+// machine-independent reference the optimization rules are equalities
+// over; the machine executor in package core must agree with it on the
+// determined positions (package rules verifies that they do).
+func Eval(t Term, xs []algebra.Value) []algebra.Value {
+	if len(xs) == 0 {
+		return nil
+	}
+	switch s := t.(type) {
+	case Seq:
+		cur := xs
+		for _, sub := range s {
+			cur = Eval(sub, cur)
+		}
+		return cur
+	case Map:
+		out := make([]algebra.Value, len(xs))
+		for i, x := range xs {
+			out[i] = s.F.F(x)
+		}
+		return out
+	case MapIdx:
+		out := make([]algebra.Value, len(xs))
+		for i, x := range xs {
+			out[i] = s.F.F(i, x)
+		}
+		return out
+	case Scan:
+		out := make([]algebra.Value, len(xs))
+		out[0] = xs[0]
+		for i := 1; i < len(xs); i++ {
+			out[i] = s.Op.Apply(out[i-1], xs[i])
+		}
+		return out
+	case ScanBal:
+		return evalScanBalanced(s.Op, xs)
+	case Reduce:
+		var y algebra.Value
+		if s.Balanced {
+			y = evalReduceBalanced(s.Op, xs)
+		} else {
+			y = xs[0]
+			for _, x := range xs[1:] {
+				y = s.Op.Apply(y, x)
+			}
+		}
+		out := make([]algebra.Value, len(xs))
+		if s.All {
+			for i := range out {
+				out[i] = y
+			}
+		} else {
+			// Equation (5) writes reduce(⊕)[x1,…,xn] = [y, x2, …, xn],
+			// but the optimization rules are equalities only if the
+			// non-root positions are don't-cares — which they are in
+			// MPI, where non-root receive buffers are undefined. We
+			// therefore mark them undetermined; a program that reads a
+			// non-root value after a reduce is erroneous.
+			out[0] = y
+			for i := 1; i < len(out); i++ {
+				out[i] = algebra.Undef{}
+			}
+		}
+		return out
+	case Bcast:
+		out := make([]algebra.Value, len(xs))
+		for i := range out {
+			out[i] = xs[0]
+		}
+		return out
+	case Gather:
+		out := make([]algebra.Value, len(xs))
+		list := make(algebra.Tuple, len(xs))
+		copy(list, xs)
+		out[0] = list
+		for i := 1; i < len(out); i++ {
+			out[i] = algebra.Undef{}
+		}
+		return out
+	case Scatter:
+		list, ok := xs[0].(algebra.Tuple)
+		if !ok || len(list) != len(xs) {
+			panic(fmt.Sprintf("term: scatter needs a %d-component list on the first processor, got %v", len(xs), xs[0]))
+		}
+		out := make([]algebra.Value, len(xs))
+		copy(out, list)
+		return out
+	case Comcast:
+		out := make([]algebra.Value, len(xs))
+		for i := range out {
+			out[i] = algebra.First(s.Ops.Repeat(i, s.Ops.Prepare(xs[0])))
+		}
+		return out
+	case Iter:
+		out := make([]algebra.Value, len(xs))
+		w := s.Op.Prepare(xs[0])
+		for k := 1; k < len(xs); k <<= 1 {
+			w = s.Op.F(w)
+		}
+		out[0] = algebra.First(w)
+		for i := 1; i < len(xs); i++ {
+			out[i] = algebra.Undef{}
+		}
+		return out
+	}
+	panic(fmt.Sprintf("term: Eval of unknown term %T", t))
+}
+
+// evalReduceBalanced folds xs over the balanced binary tree of §3.2:
+// leaves all at depth ceil(log2 n), right subtrees complete. This is the
+// bracketing under which the non-associative op_sr is correct.
+func evalReduceBalanced(op *algebra.Op, xs []algebra.Value) algebra.Value {
+	n := len(xs)
+	h := 0
+	for 1<<h < n {
+		h++
+	}
+	var node func(lo, hi, h int) algebra.Value
+	node = func(lo, hi, h int) algebra.Value {
+		if h == 0 {
+			return xs[lo]
+		}
+		half := 1 << (h - 1)
+		if hi-lo <= half {
+			return op.ApplyUnary(node(lo, hi, h-1))
+		}
+		mid := hi - half
+		return op.Apply(node(lo, mid, h-1), node(mid, hi, h-1))
+	}
+	return node(0, n, h)
+}
+
+// evalScanBalanced runs the butterfly of §3.3 on the list: ceil(log2 n)
+// phases, in phase k index i pairs with i xor 2^k; indices without a
+// partner apply the Solo case (keep the first component, poison the
+// rest).
+func evalScanBalanced(op *algebra.BalancedScanOp, xs []algebra.Value) []algebra.Value {
+	n := len(xs)
+	cur := make([]algebra.Value, n)
+	copy(cur, xs)
+	for k := 0; 1<<k < n; k++ {
+		next := make([]algebra.Value, n)
+		for i := 0; i < n; i++ {
+			partner := i ^ (1 << k)
+			switch {
+			case partner >= n:
+				next[i] = op.Solo(cur[i])
+			case partner > i:
+				next[i] = op.Lo(cur[i], op.Ship(cur[partner]))
+			default:
+				next[i] = op.Hi(cur[i], op.Ship(cur[partner]))
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,287 @@
+// Package term implements the formal framework of §2.2 of the paper:
+// parallel programs as compositions of functions on lists, where element i
+// of the list is the block held by processor i. A Term is the abstract
+// syntax of such a program; Eval gives its functional semantics
+// (equations (4)–(8)), independent of any machine, which is what the
+// optimization rules are proved against.
+package term
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Fn is a named unary function on per-processor values, the f of a local
+// stage map f. Cost is its per-element operation count, used by the cost
+// calculus and the machine executor.
+type Fn struct {
+	// Name identifies the function in printed terms.
+	Name string
+	// Cost is elementary operations per block element.
+	Cost int
+	// F is the function itself.
+	F func(algebra.Value) algebra.Value
+}
+
+func (f *Fn) String() string { return f.Name }
+
+// Predefined local functions: the auxiliary-variable constructions of
+// §2.3. Duplication and projection touch no element values, so their cost
+// is zero, matching the paper's "they contribute just a small additive
+// constant ... which we ignore" (§4.2).
+var (
+	// PairFn duplicates into a pair.
+	PairFn = &Fn{Name: "pair", F: algebra.Pair}
+	// TripleFn duplicates into a triple.
+	TripleFn = &Fn{Name: "triple", F: algebra.Triple}
+	// QuadrupleFn duplicates into a quadruple.
+	QuadrupleFn = &Fn{Name: "quadruple", F: algebra.Quadruple}
+	// FirstFn is the projection π₁.
+	FirstFn = &Fn{Name: "pi_1", F: algebra.First}
+)
+
+// IdxFn is a named function on per-processor values that additionally
+// receives the processor number — the argument of map# (equation (13)).
+type IdxFn struct {
+	// Name identifies the function in printed terms.
+	Name string
+	// F applies the function at processor index i.
+	F func(i int, v algebra.Value) algebra.Value
+	// Charge is the computation cost at index i on blocks of m words.
+	Charge func(i, m int) float64
+}
+
+func (f *IdxFn) String() string { return f.Name }
+
+// RepeatFn wraps the repeat schema of a Comcast rule as a map# function:
+// op_comp k = prepare ; repeat(e,o) k ; π₁.
+func RepeatFn(ops *algebra.RepeatOps) *IdxFn {
+	return &IdxFn{
+		Name: "op_comp[" + ops.Name + "]",
+		F: func(i int, v algebra.Value) algebra.Value {
+			return algebra.First(ops.Repeat(i, ops.Prepare(v)))
+		},
+		Charge: func(i, m int) float64 { return ops.RepeatCharge(i, m) },
+	}
+}
+
+// Term is a program in the functional framework. The concrete types are
+// Map, MapIdx, Scan, ScanBal, Reduce, Bcast, Comcast, Iter and Seq.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// Map is a local stage: map f (equation (4)).
+type Map struct {
+	F *Fn
+}
+
+func (m Map) isTerm() {}
+func (m Map) String() string {
+	return "map " + m.F.Name
+}
+
+// MapIdx is an index-aware local stage: map# f (equation (13)).
+type MapIdx struct {
+	F *IdxFn
+}
+
+func (m MapIdx) isTerm() {}
+func (m MapIdx) String() string {
+	return "map# " + m.F.Name
+}
+
+// Scan is the collective scan(⊕) (equation (7)); the operator must be
+// associative.
+type Scan struct {
+	Op *algebra.Op
+}
+
+func (s Scan) isTerm() {}
+func (s Scan) String() string {
+	return fmt.Sprintf("scan(%s)", s.Op.Name)
+}
+
+// ScanBal is the balanced scan of §3.3, parameterized by a
+// BalancedScanOp; it appears only on the right-hand side of rule SS-Scan.
+type ScanBal struct {
+	Op *algebra.BalancedScanOp
+}
+
+func (s ScanBal) isTerm() {}
+func (s ScanBal) String() string {
+	return fmt.Sprintf("scan_balanced(%s)", s.Op.Name)
+}
+
+// Reduce covers the four reduction collectives: reduce/allreduce
+// (equations (5), (6)) and their balanced variants of §3.2 (which appear
+// on the right-hand side of rule SR-Reduction and tolerate non-associative
+// operators).
+type Reduce struct {
+	Op *algebra.Op
+	// All delivers the result to every processor (allreduce).
+	All bool
+	// Balanced uses the balanced binary tree / butterfly of §3.2.
+	Balanced bool
+}
+
+func (r Reduce) isTerm() {}
+func (r Reduce) String() string {
+	name := "reduce"
+	if r.All {
+		name = "allreduce"
+	}
+	if r.Balanced {
+		name += "_balanced"
+	}
+	return fmt.Sprintf("%s(%s)", name, r.Op.Name)
+}
+
+// Bcast is the broadcast collective (equation (8)); the root is the first
+// processor, per §2.2.
+type Bcast struct{}
+
+func (b Bcast) isTerm() {}
+func (b Bcast) String() string {
+	return "bcast"
+}
+
+// Comcast is the compute-after-broadcast pattern of §3.4 as a single
+// collective: processor i receives g^i(b). It records the repeat ops so
+// both implementations (cost-optimal doubling and bcast+repeat) can
+// realize it; CostOptimal selects the doubling scheme.
+type Comcast struct {
+	Ops *algebra.RepeatOps
+	// CostOptimal selects the successive-doubling implementation the
+	// paper calls cost-optimal (and measures to be slower).
+	CostOptimal bool
+}
+
+func (c Comcast) isTerm() {}
+func (c Comcast) String() string {
+	if c.CostOptimal {
+		return fmt.Sprintf("comcast(%s)", c.Ops.Name)
+	}
+	return fmt.Sprintf("bcast; map# repeat(%s)", c.Ops.Name)
+}
+
+// Gather collects the per-processor values into a single list value on
+// the first processor: [x₁, …, xn] → [⟨x₁…xn⟩, _, …, _]. The list is an
+// algebra.Tuple, so a subsequent Scatter can redistribute it.
+type Gather struct{}
+
+func (g Gather) isTerm() {}
+func (g Gather) String() string {
+	return "gather"
+}
+
+// Scatter distributes the first processor's list value, one component per
+// processor: [⟨x₁…xn⟩, _, …, _] → [x₁, …, xn]. The inverse of Gather.
+type Scatter struct{}
+
+func (s Scatter) isTerm() {}
+func (s Scatter) String() string {
+	return "scatter"
+}
+
+// Iter is the local iteration schema of the Local rules (§3.5):
+// iter f [x, _, …, _] = [f^(log p) x, _, …, _].
+type Iter struct {
+	Op *algebra.IterOp
+}
+
+func (i Iter) isTerm() {}
+func (i Iter) String() string {
+	return fmt.Sprintf("iter(%s)", i.Op.Name)
+}
+
+// Seq is forward composition: (f ; g) x = g (f x) (equation (3)).
+type Seq []Term
+
+func (s Seq) isTerm() {}
+func (s Seq) String() string {
+	parts := make([]string, len(s))
+	for i, t := range s {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// Compose flattens terms into a single Seq, splicing nested Seqs.
+func Compose(ts ...Term) Seq {
+	var out Seq
+	for _, t := range ts {
+		if s, ok := t.(Seq); ok {
+			out = append(out, Compose(s...)...)
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stages returns the flattened stage list of a term.
+func Stages(t Term) []Term {
+	if s, ok := t.(Seq); ok {
+		var out []Term
+		for _, sub := range s {
+			out = append(out, Stages(sub)...)
+		}
+		return out
+	}
+	return []Term{t}
+}
+
+// EqualTerms reports structural equality of two terms, comparing stages
+// and operator identity.
+func EqualTerms(a, b Term) bool {
+	as, bs := Stages(a), Stages(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if !equalStage(as[i], bs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStage(a, b Term) bool {
+	switch x := a.(type) {
+	case Map:
+		y, ok := b.(Map)
+		return ok && x.F == y.F
+	case MapIdx:
+		y, ok := b.(MapIdx)
+		return ok && x.F == y.F
+	case Scan:
+		y, ok := b.(Scan)
+		return ok && x.Op == y.Op
+	case ScanBal:
+		y, ok := b.(ScanBal)
+		return ok && x.Op == y.Op
+	case Reduce:
+		y, ok := b.(Reduce)
+		return ok && x.Op == y.Op && x.All == y.All && x.Balanced == y.Balanced
+	case Bcast:
+		_, ok := b.(Bcast)
+		return ok
+	case Gather:
+		_, ok := b.(Gather)
+		return ok
+	case Scatter:
+		_, ok := b.(Scatter)
+		return ok
+	case Comcast:
+		y, ok := b.(Comcast)
+		return ok && x.Ops == y.Ops && x.CostOptimal == y.CostOptimal
+	case Iter:
+		y, ok := b.(Iter)
+		return ok && x.Op == y.Op
+	}
+	return false
+}

@@ -1,0 +1,312 @@
+package term
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func scalars(xs ...float64) []algebra.Value {
+	out := make([]algebra.Value, len(xs))
+	for i, x := range xs {
+		out[i] = algebra.Scalar(x)
+	}
+	return out
+}
+
+func randScalars(rng *rand.Rand, n int) []algebra.Value {
+	out := make([]algebra.Value, n)
+	for i := range out {
+		out[i] = algebra.Scalar(float64(rng.Intn(19) - 9))
+	}
+	return out
+}
+
+func TestMapSemantics(t *testing.T) {
+	double := &Fn{Name: "double", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, v)
+	}}
+	got := Eval(Map{double}, scalars(1, 2, 3))
+	if !algebra.EqualLists(got, scalars(2, 4, 6)) {
+		t.Fatalf("map double = %v", got)
+	}
+}
+
+func TestMapIdxSemantics(t *testing.T) {
+	// map# f applies f i x_i — equation (13).
+	addIdx := &IdxFn{
+		Name: "addidx",
+		F: func(i int, v algebra.Value) algebra.Value {
+			return algebra.Add.Apply(v, algebra.Scalar(float64(i)))
+		},
+		Charge: func(i, m int) float64 { return float64(m) },
+	}
+	got := Eval(MapIdx{addIdx}, scalars(10, 10, 10))
+	if !algebra.EqualLists(got, scalars(10, 11, 12)) {
+		t.Fatalf("map# = %v", got)
+	}
+}
+
+func TestScanSemantics(t *testing.T) {
+	// Equation (7).
+	got := Eval(Scan{algebra.Add}, scalars(2, 5, 9, 1, 2, 6))
+	if !algebra.EqualLists(got, scalars(2, 7, 16, 17, 19, 25)) {
+		t.Fatalf("scan(+) = %v", got)
+	}
+}
+
+func TestReduceSemantics(t *testing.T) {
+	// Equation (5), with the MPI don't-care convention for non-root
+	// positions (see the Eval doc): result on the first processor,
+	// others undetermined.
+	got := Eval(Reduce{Op: algebra.Add}, scalars(1, 2, 3, 4))
+	if !algebra.Equal(got[0], algebra.Scalar(10)) {
+		t.Fatalf("reduce(+) root = %v, want 10", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !algebra.IsUndef(got[i]) {
+			t.Fatalf("reduce(+) position %d = %v, want _", i, got[i])
+		}
+	}
+}
+
+func TestAllReduceSemantics(t *testing.T) {
+	// Equation (6).
+	got := Eval(Reduce{Op: algebra.Add, All: true}, scalars(1, 2, 3, 4))
+	if !algebra.EqualLists(got, scalars(10, 10, 10, 10)) {
+		t.Fatalf("allreduce(+) = %v", got)
+	}
+}
+
+func TestBcastSemantics(t *testing.T) {
+	// Equation (8): the other processors' data are irrelevant.
+	got := Eval(Bcast{}, scalars(7, 1, 2, 3))
+	if !algebra.EqualLists(got, scalars(7, 7, 7, 7)) {
+		t.Fatalf("bcast = %v", got)
+	}
+}
+
+func TestIterSemantics(t *testing.T) {
+	// iter f [x,_,…] = [f^(log n) x, _, …].
+	op := algebra.OpBR(algebra.Add)
+	got := Eval(Iter{op}, scalars(3, 0, 0, 0))
+	if !algebra.Equal(got[0], algebra.Scalar(12)) {
+		t.Fatalf("iter(op_br) first = %v, want 12", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !algebra.IsUndef(got[i]) {
+			t.Fatalf("iter position %d = %v, want _", i, got[i])
+		}
+	}
+}
+
+func TestIterNonPowerOfTwoRoundsUp(t *testing.T) {
+	op := algebra.OpBR(algebra.Add)
+	// n = 5: ceil(log2 5) = 3 applications → 8·x.
+	got := Eval(Iter{op}, scalars(1, 0, 0, 0, 0))
+	if !algebra.Equal(got[0], algebra.Scalar(8)) {
+		t.Fatalf("iter on 5 = %v, want 8", got[0])
+	}
+}
+
+func TestComcastSemantics(t *testing.T) {
+	ops := algebra.OpCompBS(algebra.Add)
+	got := Eval(Comcast{Ops: ops}, scalars(2, 0, 0, 0, 0, 0))
+	if !algebra.EqualLists(got, scalars(2, 4, 6, 8, 10, 12)) {
+		t.Fatalf("comcast = %v", got)
+	}
+}
+
+func TestSeqComposesForward(t *testing.T) {
+	// (f ; g) x = g (f x) — equation (3).
+	got := Eval(Seq{Scan{algebra.Add}, Reduce{Op: algebra.Add}}, scalars(1, 2, 3))
+	// scan: [1 3 6]; reduce: [10 _ _].
+	if !algebra.Equal(got[0], algebra.Scalar(10)) {
+		t.Fatalf("scan;reduce root = %v, want 10", got[0])
+	}
+}
+
+func TestEvalEmptyInput(t *testing.T) {
+	if got := Eval(Scan{algebra.Add}, nil); got != nil {
+		t.Fatalf("Eval on empty input = %v", got)
+	}
+}
+
+// TestExampleProgram evaluates the paper's program Example (§2.1):
+// map f ; scan(op1) ; reduce(op2) ; map g ; bcast.
+func TestExampleProgram(t *testing.T) {
+	f := &Fn{Name: "f", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Add.Apply(v, algebra.Scalar(1))
+	}}
+	g := &Fn{Name: "g", Cost: 1, F: func(v algebra.Value) algebra.Value {
+		return algebra.Mul.Apply(v, algebra.Scalar(2))
+	}}
+	example := Compose(Map{f}, Scan{algebra.Add}, Reduce{Op: algebra.Add}, Map{g}, Bcast{})
+	got := Eval(example, scalars(1, 2, 3, 4))
+	// f: [2 3 4 5]; scan: [2 5 9 14]; reduce: [30 5 9 14];
+	// g: [60 10 18 28]; bcast: [60 60 60 60].
+	if !algebra.EqualLists(got, scalars(60, 60, 60, 60)) {
+		t.Fatalf("example = %v", got)
+	}
+}
+
+func TestReduceBalancedSemanticsFigure4(t *testing.T) {
+	sr := algebra.OpSR(algebra.Add)
+	xs := Eval(Map{PairFn}, scalars(2, 5, 9, 1, 2, 6))
+	got := Eval(Reduce{Op: sr, Balanced: true}, xs)
+	want := algebra.Tuple{algebra.Scalar(86), algebra.Scalar(200)}
+	if !algebra.Equal(got[0], want) {
+		t.Fatalf("reduce_balanced first = %v, want %v", got[0], want)
+	}
+}
+
+func TestScanBalancedSemanticsFigure5(t *testing.T) {
+	ss := algebra.OpSS(algebra.Add)
+	xs := Eval(Map{QuadrupleFn}, scalars(2, 5, 9, 1, 2, 6))
+	got := Eval(Seq{ScanBal{ss}, Map{FirstFn}}, xs)
+	if !algebra.EqualListsModuloUndef(got, scalars(2, 9, 25, 42, 61, 86)) {
+		t.Fatalf("scan_balanced firsts = %v", got)
+	}
+}
+
+func TestAllReduceBalancedSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{1, 2, 3, 5, 6, 8, 16} {
+		xs := randScalars(rng, n)
+		sr := algebra.OpSR(algebra.Add)
+		paired := Eval(Map{PairFn}, xs)
+		got := Eval(Seq{Reduce{Op: sr, All: true, Balanced: true}, Map{FirstFn}}, paired)
+		want := Eval(Seq{Scan{algebra.Add}, Reduce{Op: algebra.Add, All: true}}, xs)
+		// allreduce_balanced duplicates the balanced-tree result.
+		for i := range got {
+			if !algebra.Equal(got[i], want[i]) {
+				t.Fatalf("n=%d pos %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	sr2 := algebra.OpSR2(algebra.Mul, algebra.Add)
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Map{PairFn}, "map pair"},
+		{MapIdx{RepeatFn(algebra.OpCompBS(algebra.Add))}, "map# op_comp[op_comp_bs(+)]"},
+		{Scan{algebra.Add}, "scan(+)"},
+		{Reduce{Op: algebra.Add}, "reduce(+)"},
+		{Reduce{Op: algebra.Add, All: true}, "allreduce(+)"},
+		{Reduce{Op: sr2, Balanced: true}, "reduce_balanced(op_sr2(*,+))"},
+		{Bcast{}, "bcast"},
+		{Iter{algebra.OpBR(algebra.Add)}, "iter(op_br(+))"},
+		{Seq{Bcast{}, Scan{algebra.Add}}, "bcast ; scan(+)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestComposeFlattens(t *testing.T) {
+	inner := Seq{Bcast{}, Scan{algebra.Add}}
+	out := Compose(Map{PairFn}, inner, Reduce{Op: algebra.Add})
+	if len(out) != 4 {
+		t.Fatalf("Compose produced %d stages, want 4: %v", len(out), out)
+	}
+}
+
+func TestStagesFlattens(t *testing.T) {
+	nested := Seq{Seq{Bcast{}}, Seq{Scan{algebra.Add}, Seq{Reduce{Op: algebra.Add}}}}
+	st := Stages(nested)
+	if len(st) != 3 {
+		t.Fatalf("Stages = %v", st)
+	}
+}
+
+func TestEqualTerms(t *testing.T) {
+	a := Compose(Bcast{}, Scan{algebra.Add})
+	b := Seq{Bcast{}, Scan{algebra.Add}}
+	if !EqualTerms(a, b) {
+		t.Error("structurally equal terms compare unequal")
+	}
+	c := Seq{Bcast{}, Scan{algebra.Mul}}
+	if EqualTerms(a, c) {
+		t.Error("different operators compare equal")
+	}
+	d := Seq{Bcast{}}
+	if EqualTerms(a, d) {
+		t.Error("different lengths compare equal")
+	}
+	if !EqualTerms(Reduce{Op: algebra.Add}, Reduce{Op: algebra.Add}) {
+		t.Error("identical reduces compare unequal")
+	}
+	if EqualTerms(Reduce{Op: algebra.Add}, Reduce{Op: algebra.Add, All: true}) {
+		t.Error("reduce equals allreduce")
+	}
+}
+
+// TestP1EqualsP2 is the §2.3 warm-up (Figure 2): P1 = allreduce(+) and
+// P2 = map pair ; allreduce(op_new) ; map π₁ are semantically equal.
+func TestP1EqualsP2(t *testing.T) {
+	opNew := algebra.OpNew(algebra.Add, algebra.Mul)
+	p1 := Seq{Reduce{Op: algebra.Add, All: true}}
+	p2 := Seq{Map{PairFn}, Reduce{Op: opNew, All: true}, Map{FirstFn}}
+	in := scalars(1, 2, 3, 4)
+	got1 := Eval(p1, in)
+	got2 := Eval(p2, in)
+	if !algebra.EqualLists(got1, got2) {
+		t.Fatalf("P1 = %v, P2 = %v", got1, got2)
+	}
+	if !algebra.EqualLists(got1, scalars(10, 10, 10, 10)) {
+		t.Fatalf("P1 = %v, want all 10", got1)
+	}
+	// The intermediate of P2 is [(10,24) ×4] as in Figure 2.
+	mid := Eval(Seq{Map{PairFn}, Reduce{Op: opNew, All: true}}, in)
+	want := algebra.Tuple{algebra.Scalar(10), algebra.Scalar(24)}
+	for i, v := range mid {
+		if !algebra.Equal(v, want) {
+			t.Fatalf("P2 intermediate %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestGatherScatterStrings(t *testing.T) {
+	if (Gather{}).String() != "gather" || (Scatter{}).String() != "scatter" {
+		t.Fatal("gather/scatter strings")
+	}
+	ops := algebra.OpCompBS(algebra.Add)
+	if got := (Comcast{Ops: ops, CostOptimal: true}).String(); got != "comcast(op_comp_bs(+))" {
+		t.Fatalf("cost-optimal comcast String = %q", got)
+	}
+	rf := RepeatFn(ops)
+	if rf.Charge(3, 10) != ops.RepeatCharge(3, 10) {
+		t.Fatal("RepeatFn charge mismatch")
+	}
+	got := rf.F(3, algebra.Scalar(2))
+	if !algebra.Equal(got, algebra.Scalar(8)) {
+		t.Fatalf("RepeatFn(3, 2) = %v, want 8", got)
+	}
+}
+
+func TestFnStringers(t *testing.T) {
+	if PairFn.String() != "pair" {
+		t.Fatal("Fn.String")
+	}
+	idx := &IdxFn{Name: "idx"}
+	if idx.String() != "idx" {
+		t.Fatal("IdxFn.String")
+	}
+}
+
+func TestEvalUnknownTermPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	type alien struct{ Term }
+	Eval(alien{}, scalars(1))
+}
