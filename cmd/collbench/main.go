@@ -1,7 +1,7 @@
-// Command collbench regenerates the paper's evaluation artifacts on the
-// virtual machine: Table 1 (predicted, optionally measured), the
-// BS-Comcast experiments of Figures 7 and 8, the measured rule crossovers,
-// and the §5 polynomial-evaluation case study.
+// Command collbench regenerates the paper's evaluation artifacts: Table 1
+// (predicted, optionally measured), the BS-Comcast experiments of Figures
+// 7 and 8, the measured rule crossovers, and the §5 polynomial-evaluation
+// case study.
 //
 // Usage:
 //
@@ -13,9 +13,15 @@
 //	collbench -crossover              measured vs predicted crossovers
 //	collbench -polyeval               reproduce the §5 case study
 //	collbench -everything             all of the above
+//	collbench -benchjson FILE         wall-clock fusion suite → JSON
 //
-// Machine parameters default to a Parsytec-like start-up-dominated
-// network (ts = 5000, tw = 1) and can be overridden with -ts/-tw/-p/-m.
+// Measurements default to the virtual machine, whose deterministic
+// makespans follow the §4.1 cost model; -backend native re-runs them on
+// the native goroutine backend, reporting real wall-clock nanoseconds
+// (minimum over -reps repetitions). Machine parameters default to a
+// Parsytec-like start-up-dominated network (ts = 5000, tw = 1) and can be
+// overridden with -ts/-tw/-p/-m; the native backend ignores ts/tw — the
+// host's real start-up and bandwidth apply.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/machine"
@@ -56,11 +63,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	everything := fs.Bool("everything", false, "run every experiment")
 	csv := fs.Bool("csv", false, "emit figures as CSV instead of ASCII plots")
 	report := fs.Bool("report", false, "emit the full Markdown experiment report (EXPERIMENTS.md body)")
+	backendFlag := fs.String("backend", "virtual", "measurement backend: virtual (cost-model time) or native (wall-clock goroutines)")
+	reps := fs.Int("reps", 5, "repetitions per native measurement (minimum taken)")
+	benchjson := fs.String("benchjson", "", "run the native wall-clock fusion suite and write records to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := validate(*p, *m, *reps, *backendFlag, *table1 && *measured); err != nil {
+		fmt.Fprintf(stderr, "collbench: %v\n", err)
+		return 2
+	}
+	native := *backendFlag == "native"
+	run := exper.RunVirtual
+	unit := ""
+	if native {
+		run = exper.NativeRunner(*reps)
+		unit = " [native wall-clock, ns]"
+	}
+	// virtualOnly flags modes whose output is inherently cost-model based.
+	virtualOnly := func(mode string) {
+		if native {
+			fmt.Fprintf(stderr, "collbench: %s runs on the virtual machine regardless of -backend\n", mode)
+		}
+	}
+
+	if *benchjson != "" {
+		cfg := exper.DefaultNativeFusionConfig()
+		cfg.P = *p
+		cfg.Reps = *reps
+		recs, err := exper.NativeFusion(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		if err := exper.WriteBenchJSON(*benchjson, recs); err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "== Native wall-clock fusion suite (p=%d, reps=%d) ==\n", cfg.P, cfg.Reps)
+		fmt.Fprint(stdout, exper.FormatNativeFusion(recs))
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", len(recs), *benchjson)
+		return 0
+	}
 
 	if *report {
+		virtualOnly("-report")
 		fmt.Fprint(stdout, exper.Report(exper.ReportConfig{Ts: *ts, Tw: *tw, P: min(*p, 32), M: 16}))
 		return 0
 	}
@@ -68,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *everything {
 		*table1, *measured, *fig2, *fig3, *fig7, *fig8, *crossover, *polyeval =
 			true, true, true, true, true, true, true, true
+		if err := validate(*p, *m, *reps, *backendFlag, *measured); err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 2
+		}
 	}
 	if !*table1 && !*fig2 && !*fig3 && !*fig7 && !*fig8 && !*crossover && !*crossfig && !*scaling && !*appsFlag && !*polyeval && !*report {
 		fmt.Fprintln(stderr, "collbench: select an experiment (or -everything)")
@@ -78,12 +129,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mach := core.Machine{Ts: *ts, Tw: *tw, P: *p, M: *m}
 
 	if *table1 {
-		fmt.Fprintf(stdout, "== Table 1 (ts=%g tw=%g p=%d m=%d) ==\n", *ts, *tw, *p, *m)
-		rows := exper.Table1(mach, *measured)
+		fmt.Fprintf(stdout, "== Table 1 (ts=%g tw=%g p=%d m=%d)%s ==\n", *ts, *tw, *p, *m, unit)
+		rows := exper.Table1On(mach, *measured, run)
 		fmt.Fprint(stdout, exper.FormatTable1(rows, *measured))
 		fmt.Fprintln(stdout)
 	}
 	if *fig2 {
+		virtualOnly("-fig2")
 		fmt.Fprintln(stdout, "== Figure 2: P1 = P2 on [1 2 3 4] ==")
 		p1, p2, mid := exper.Figure2()
 		fmt.Fprintf(stdout, "P1 = allreduce(+):                        %v\n", p1)
@@ -92,6 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if *fig3 {
+		virtualOnly("-fig3")
 		fmt.Fprintln(stdout, "== Figure 3: Example before/after SR2-Reduction ==")
 		f3mach := core.Machine{Ts: *ts, Tw: *tw, P: min(*p, 8), M: *m}
 		before, after, tB, tA := exper.Figure3(f3mach, 64)
@@ -101,17 +154,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\ntime saved: %.0f (%.1f%%)\n\n", tB-tA, 100*(tB-tA)/tB)
 	}
 	if *fig7 {
-		fig := exper.Figure7(params, *m, *p)
+		fig := exper.Figure7On(params, *m, *p, run)
 		emit(stdout, fig, *csv)
 	}
 	if *fig8 {
-		fig := exper.Figure8(params, *p, *m/8+1, *m*4)
+		fig := exper.Figure8On(params, *p, *m/8+1, *m*4, run)
 		emit(stdout, fig, *csv)
 	}
 	if *crossover {
-		fmt.Fprintf(stdout, "== Crossovers (largest m where the rule still improves; ts=%g tw=%g p=%d) ==\n", *ts, *tw, *p)
+		fmt.Fprintf(stdout, "== Crossovers (largest m where the rule still improves; ts=%g tw=%g p=%d)%s ==\n", *ts, *tw, *p, unit)
 		for _, rule := range []string{"SR-Reduction", "SS2-Scan", "SS-Scan"} {
-			res := exper.MeasureCrossover(rule, core.Machine{Ts: *ts, Tw: *tw, P: *p}, 1<<15)
+			res := exper.MeasureCrossoverOn(rule, core.Machine{Ts: *ts, Tw: *tw, P: *p}, 1<<15, run)
 			fmt.Fprintf(stdout, "  %-14s predicted m = %-6d measured m = %d\n", res.Rule, res.Predicted, res.Measured)
 		}
 		fmt.Fprintln(stdout)
@@ -119,7 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *crossfig {
 		tsI := int(*ts)
 		ms := []int{tsI / 8, tsI / 4, 3 * tsI / 8, tsI / 2, 5 * tsI / 8, 3 * tsI / 4, tsI}
-		fig := exper.CrossoverFigure("SS2-Scan", params, min(*p, 16), ms)
+		fig := exper.CrossoverFigureOn("SS2-Scan", params, min(*p, 16), ms, run)
 		emit(stdout, fig, *csv)
 	}
 	if *scaling {
@@ -127,10 +180,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for q := 2; q <= *p; q *= 2 {
 			ps = append(ps, q)
 		}
-		fig := exper.Scaling("SR2-Reduction", params, *m**p, ps)
+		fig := exper.ScalingOn("SR2-Reduction", params, *m**p, ps, run)
 		emit(stdout, fig, *csv)
 	}
 	if *appsFlag {
+		virtualOnly("-apps")
 		ps := []int{1, 2, 4, 8, 16, 32}
 		for _, app := range []string{"mss", "statistics", "samplesort"} {
 			rows := exper.AppSpeedup(app, *ts, *tw, 1<<14, ps)
@@ -138,6 +192,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *polyeval {
+		virtualOnly("-polyeval")
 		fmt.Fprintf(stdout, "== §5 Polynomial evaluation (p=%d, %d points, ts=%g tw=%g) ==\n", *p, *m, *ts, *tw)
 		pe := exper.NewPolyEval(1, *p, *m)
 		for _, r := range pe.Run(*ts, *tw) {
@@ -150,6 +205,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	return 0
+}
+
+// validate rejects flag values that would otherwise panic deep inside an
+// experiment, so bad invocations die with a clear message and exit 2.
+func validate(p, m, reps int, backend string, measuredTable bool) error {
+	if p < 1 {
+		return fmt.Errorf("-p must be a positive processor count, got %d", p)
+	}
+	if m < 1 {
+		return fmt.Errorf("-m must be a positive block size, got %d", m)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1, got %d", reps)
+	}
+	if backend != "virtual" && backend != "native" {
+		return fmt.Errorf("-backend must be \"virtual\" or \"native\", got %q", backend)
+	}
+	if measuredTable && !coll.IsPow2(p) {
+		return fmt.Errorf("-table1 -measured needs a power-of-two -p (the Local rules rewrite to butterfly programs), got %d", p)
+	}
+	return nil
 }
 
 func emit(stdout io.Writer, fig exper.Figure, csv bool) {

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/exper"
 )
 
 func runBench(t *testing.T, args ...string) (string, string, int) {
@@ -101,6 +106,92 @@ func TestNoExperimentSelected(t *testing.T) {
 	_, errb, code := runBench(t)
 	if code != 2 || !strings.Contains(errb, "select an experiment") {
 		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero p", []string{"-table1", "-p", "0"}, "-p must be a positive"},
+		{"negative p", []string{"-fig7", "-p", "-4"}, "-p must be a positive"},
+		{"zero m", []string{"-table1", "-p", "8", "-m", "0"}, "-m must be a positive"},
+		{"negative m", []string{"-fig8", "-m", "-1"}, "-m must be a positive"},
+		{"zero reps", []string{"-table1", "-reps", "0"}, "-reps must be at least 1"},
+		{"bad backend", []string{"-table1", "-backend", "quantum"}, `-backend must be "virtual" or "native"`},
+		{"non-pow2 measured table", []string{"-table1", "-measured", "-p", "6"}, "power-of-two"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errb, code := runBench(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb)
+			}
+			if !strings.Contains(errb, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errb, tc.want)
+			}
+		})
+	}
+}
+
+func TestTable1NativeBackend(t *testing.T) {
+	out, _, code := runBench(t, "-table1", "-measured", "-backend", "native",
+		"-p", "4", "-m", "8", "-reps", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "native wall-clock") || !strings.Contains(out, "meas before") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestFigure7NativeBackend(t *testing.T) {
+	out, _, code := runBench(t, "-fig7", "-csv", "-backend", "native",
+		"-p", "4", "-m", "16", "-reps", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "processors,bcast; scan") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestVirtualOnlyModeNotice(t *testing.T) {
+	out, errb, code := runBench(t, "-fig2", "-backend", "native")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb, "-fig2 runs on the virtual machine") {
+		t.Fatalf("stderr missing notice: %s", errb)
+	}
+	if !strings.Contains(out, "P1 = allreduce(+)") {
+		t.Fatalf("fig2 output missing:\n%s", out)
+	}
+}
+
+func TestBenchJSONMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_native.json")
+	out, errb, code := runBench(t, "-benchjson", path, "-p", "4", "-reps", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "wrote") {
+		t.Fatalf("output:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []exper.NativeBenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	// All 11 rules × 4 block sizes × 2 sides at p=4 (a power of two, so no
+	// rule is skipped).
+	if len(recs) != 88 {
+		t.Fatalf("got %d records, want 88", len(recs))
 	}
 }
 

@@ -1,0 +1,289 @@
+// Package backend is the native execution backend: a second implementation
+// of the coll.Comm communicator in which group members are plain goroutines
+// on the host, point-to-point messages are real channel transfers of
+// algebra values, and time is wall-clock — per-rank time.Now deltas from a
+// barrier-synchronized start — instead of the virtual clocks of package
+// machine.
+//
+// The two backends answer different questions. The virtual machine runs
+// the data flow for real but *times* it with the §4.1 cost-model
+// arithmetic, so its makespans are deterministic and comparable with the
+// paper's closed-form estimates. The native backend times nothing and
+// simulates nothing: the arithmetic inside the operators is the
+// computation, channel rendezvous and goroutine scheduling are the message
+// start-ups, and the measured makespan is the host's actual cost of the
+// program. Because every collective in package coll is written against
+// coll.Comm, the whole collective library — and every optimization-rule
+// rewrite — runs unmodified on either backend, which is what makes the
+// conformance harness in this package possible.
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+// DefaultTimeout bounds how long a rank may block in Recv before the run
+// is aborted with a deadlock diagnosis.
+const DefaultTimeout = 30 * time.Second
+
+// Machine is a native shared-memory machine of P ranks. Create one with
+// New, then call Run to execute an SPMD program; a Machine runs one
+// program at a time.
+type Machine struct {
+	// P is the number of ranks (goroutines).
+	P int
+	// Timeout bounds how long a rank may block in Recv or Exchange
+	// before the run is aborted with a deadlock diagnosis. Zero means no
+	// bound (and removes a per-receive timer, which matters in tight
+	// benchmarks).
+	Timeout time.Duration
+	// Startup, when non-zero, makes every sender busy-wait that long
+	// before enqueuing a message — an injected per-message start-up for
+	// emulating networks where start-up dominates even more than
+	// goroutine scheduling already does. Zero (the default) measures the
+	// host's bare channel cost.
+	Startup time.Duration
+
+	procs []*Proc
+}
+
+// New creates a native machine with p ranks and the default timeout.
+func New(p int) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("backend: need at least 1 rank, got %d", p))
+	}
+	return &Machine{P: p, Timeout: DefaultTimeout}
+}
+
+// packet is one in-flight message. Unlike the virtual machine's packet it
+// carries no departure clock — arrival order and wall time are the truth.
+type packet struct {
+	value algebra.Value
+	tag   int
+}
+
+// StageMark is one stage-boundary annotation on a rank's wall-clock
+// timeline, recorded by Mark (the generic executor marks every program
+// stage).
+type StageMark struct {
+	// Label names the stage.
+	Label string
+	// At is the offset from the barrier-synchronized start.
+	At time.Duration
+}
+
+// Proc is one native rank. It implements coll.Comm, so every collective of
+// package coll runs on it directly. Its methods must only be called from
+// the goroutine running that rank's SPMD body.
+type Proc struct {
+	rank int
+	m    *Machine
+	// in[src] carries messages from rank src to this rank.
+	in []chan packet
+	// start is the barrier-synchronized run start, shared by all ranks.
+	start time.Time
+	// elapsed is the rank's wall time from start to body return.
+	elapsed time.Duration
+	// sent/recvd/sentWords/ops mirror the virtual machine's counters so
+	// both backends report comparable volume figures.
+	sent, recvd int
+	sentWords   int
+	ops         float64
+	tagseq      int
+	marks       []StageMark
+}
+
+// Rank is this rank's index, 0 ≤ Rank < P.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size is the machine size.
+func (p *Proc) Size() int { return p.m.P }
+
+// NextTag returns a fresh message tag. As on the virtual machine, the
+// per-rank counters of an SPMD program stay synchronized, giving each
+// collective a distinct tag without coordination.
+func (p *Proc) NextTag() int {
+	p.tagseq++
+	return p.tagseq
+}
+
+// Compute records n charged units of local computation. The native
+// backend does not advance any clock here: the arithmetic that the charge
+// accounts for has already been executed for real inside the operator, so
+// its cost is in the wall-clock measurement. The counter is kept so the
+// run's Result reports the same work figure as the virtual machine's.
+func (p *Proc) Compute(n float64) {
+	if n < 0 {
+		panic("backend: negative computation charge")
+	}
+	p.ops += n
+}
+
+// Mark records a stage-boundary annotation at the current wall offset.
+func (p *Proc) Mark(label string) {
+	p.marks = append(p.marks, StageMark{Label: label, At: time.Since(p.start)})
+}
+
+// Send ships v to rank dst over the channel pair — a real transfer of the
+// (shared, immutable-by-convention) value reference.
+func (p *Proc) Send(dst int, v algebra.Value, tag int) {
+	if dst == p.rank {
+		panic(fmt.Sprintf("backend: rank %d sending to itself", p.rank))
+	}
+	p.checkRank(dst)
+	p.m.startupWait()
+	p.sent++
+	p.sentWords += v.Words()
+	p.m.procs[dst].in[p.rank] <- packet{value: v, tag: tag}
+}
+
+// Recv receives the next message from rank src, blocking until it
+// arrives.
+func (p *Proc) Recv(src, tag int) algebra.Value {
+	p.checkRank(src)
+	pkt := p.take(src, tag, "waiting for a message from")
+	return pkt.value
+}
+
+// Exchange performs the simultaneous bidirectional swap with partner:
+// both sides enqueue, then dequeue, which the buffered channels keep
+// deadlock-free.
+func (p *Proc) Exchange(partner int, v algebra.Value, tag int) algebra.Value {
+	if partner == p.rank {
+		panic(fmt.Sprintf("backend: rank %d exchanging with itself", p.rank))
+	}
+	p.checkRank(partner)
+	p.m.startupWait()
+	p.sent++
+	p.sentWords += v.Words()
+	p.m.procs[partner].in[p.rank] <- packet{value: v, tag: tag}
+	pkt := p.take(partner, tag, "deadlocked in exchange with")
+	return pkt.value
+}
+
+// take dequeues the next packet from src with the timeout and tag
+// discipline of the virtual machine.
+func (p *Proc) take(src, tag int, verb string) packet {
+	var pkt packet
+	if p.m.Timeout > 0 {
+		select {
+		case pkt = <-p.in[src]:
+		case <-time.After(p.m.Timeout):
+			panic(fmt.Sprintf("backend: rank %d %s rank %d (tag %d)", p.rank, verb, src, tag))
+		}
+	} else {
+		pkt = <-p.in[src]
+	}
+	if pkt.tag != tag {
+		panic(fmt.Sprintf("backend: rank %d expected tag %d from rank %d, got %d", p.rank, tag, src, pkt.tag))
+	}
+	p.recvd++
+	return pkt
+}
+
+func (p *Proc) checkRank(r int) {
+	if r < 0 || r >= p.m.P {
+		panic(fmt.Sprintf("backend: rank %d out of range [0,%d)", r, p.m.P))
+	}
+}
+
+// startupWait busy-waits for the injected per-message start-up. A spin
+// rather than a sleep: the emulated start-ups of interest sit well below
+// the scheduler's sleep granularity.
+func (m *Machine) startupWait() {
+	if m.Startup <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < m.Startup {
+	}
+}
+
+// Result summarises one native run.
+type Result struct {
+	// Makespan is the wall time from the barrier-synchronized start to
+	// the last rank's finish — the native analogue of the virtual
+	// machine's makespan.
+	Makespan time.Duration
+	// Ranks are the per-rank wall times from the same start.
+	Ranks []time.Duration
+	// Messages and Words count the point-to-point transfers and their
+	// volume, comparable with the virtual machine's counters.
+	Messages int
+	Words    int
+	// Ops is the computation charged via Compute across all ranks. The
+	// native backend performs this work for real; the counter is kept so
+	// both backends report the same work figure.
+	Ops float64
+	// Marks are the per-rank stage annotations ([rank][stage]).
+	Marks [][]StageMark
+}
+
+// Run executes body as an SPMD program: one goroutine per rank, all
+// released from a common barrier so the per-rank timings share one origin.
+// It returns when every rank's body has finished. A panic in any rank's
+// body aborts the run and is re-raised on the caller's goroutine with the
+// rank identified.
+func (m *Machine) Run(body func(p *Proc)) Result {
+	m.procs = make([]*Proc, m.P)
+	for r := 0; r < m.P; r++ {
+		in := make([]chan packet, m.P)
+		for s := 0; s < m.P; s++ {
+			if s != r {
+				// As on the virtual machine, the collectives never have
+				// more than a couple of outstanding messages per
+				// directed pair.
+				in[s] = make(chan packet, 4)
+			}
+		}
+		m.procs[r] = &Proc{rank: r, m: m, in: in}
+	}
+	var ready, done sync.WaitGroup
+	release := make(chan struct{})
+	panics := make([]any, m.P)
+	for r := 0; r < m.P; r++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(p *Proc) {
+			defer done.Done()
+			ready.Done()
+			<-release
+			defer func() {
+				p.elapsed = time.Since(p.start)
+				if e := recover(); e != nil {
+					panics[p.rank] = e
+				}
+			}()
+			body(p)
+		}(m.procs[r])
+	}
+	ready.Wait()
+	start := time.Now()
+	for _, p := range m.procs {
+		p.start = start
+	}
+	close(release)
+	done.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("backend: rank %d failed: %v", r, e))
+		}
+	}
+	res := Result{Ranks: make([]time.Duration, m.P), Marks: make([][]StageMark, m.P)}
+	for r, p := range m.procs {
+		res.Ranks[r] = p.elapsed
+		res.Marks[r] = p.marks
+		res.Messages += p.sent
+		res.Words += p.sentWords
+		res.Ops += p.ops
+		if p.elapsed > res.Makespan {
+			res.Makespan = p.elapsed
+		}
+	}
+	m.procs = nil
+	return res
+}

@@ -31,6 +31,15 @@ type Comm interface {
 	NextTag() int
 }
 
+// Marker is optionally implemented by communicators that can record
+// stage-boundary annotations — the virtual machine puts them on the event
+// trace, the native backend on its wall-clock timeline. Executors should
+// type-assert for it rather than require it.
+type Marker interface {
+	// Mark records a stage annotation at the current time.
+	Mark(label string)
+}
+
 // world adapts a machine processor to the full-machine communicator.
 type world struct {
 	p      *machine.Proc
@@ -67,6 +76,9 @@ func (w *world) NextTag() int {
 	w.tagseq++
 	return w.tagseq
 }
+
+// Mark records a stage annotation on the processor's event trace.
+func (w *world) Mark(label string) { w.p.Mark(label) }
 
 // sub is a subgroup communicator: group rank i maps to parent rank
 // ranks[i].
@@ -118,6 +130,13 @@ func (s *sub) Exchange(partner int, v Value, tag int) Value {
 }
 
 func (s *sub) Compute(n float64) { s.parent.Compute(n) }
+
+// Mark forwards a stage annotation to the parent, if it records them.
+func (s *sub) Mark(label string) {
+	if m, ok := s.parent.(Marker); ok {
+		m.Mark(label)
+	}
+}
 
 func (s *sub) NextTag() int {
 	s.tagseq++

@@ -56,17 +56,27 @@ func Exec(t term.Term, vm *machine.Machine, input []algebra.Value) ([]algebra.Va
 		panic(fmt.Sprintf("core: input length %d does not match machine size %d", len(input), vm.P))
 	}
 	out := make([]algebra.Value, vm.P)
-	stages := term.Stages(t)
 	res := vm.Run(func(p *machine.Proc) {
-		c := coll.World(p)
-		v := input[p.Rank()]
-		for _, s := range stages {
-			p.Mark(s.String())
-			v = execStage(s, c, v)
-		}
-		out[p.Rank()] = v
+		out[p.Rank()] = RunStages(coll.World(p), t, input[p.Rank()])
 	})
 	return out, res
+}
+
+// RunStages executes the stages of t over an arbitrary communicator —
+// the backend-generic heart of the executor. It is called once per group
+// member from inside an SPMD body (Exec does so on the virtual machine,
+// ExecNative on the native backend), threading the member's value through
+// every stage. Stage boundaries are marked when the communicator records
+// them.
+func RunStages(c coll.Comm, t term.Term, v algebra.Value) algebra.Value {
+	mk, _ := c.(coll.Marker)
+	for _, s := range term.Stages(t) {
+		if mk != nil {
+			mk.Mark(s.String())
+		}
+		v = execStage(s, c, v)
+	}
+	return v
 }
 
 func execStage(s term.Term, c coll.Comm, v algebra.Value) algebra.Value {

@@ -27,6 +27,11 @@ func comcastVariants() (lhs, comcastOpt, bcastRepeat core.Program) {
 // (the paper uses 32·10³ on up to 64 processors). Machine sizes are the
 // powers of two up to maxP.
 func Figure7(params machine.Params, blockWords, maxP int) Figure {
+	return Figure7On(params, blockWords, maxP, RunVirtual)
+}
+
+// Figure7On is Figure7 with an explicit measurement backend.
+func Figure7On(params machine.Params, blockWords, maxP int, run Runner) Figure {
 	fig := Figure{
 		Title:  fmt.Sprintf("Figure 7: BS-Comcast variants, block size %d", blockWords),
 		XLabel: "processors",
@@ -41,7 +46,7 @@ func Figure7(params machine.Params, blockWords, maxP int) Figure {
 			mach := core.Machine{Ts: params.Ts, Tw: params.Tw, P: p, M: blockWords}
 			in := inputs(7, p, blockWords)
 			s.X = append(s.X, float64(p))
-			s.Y = append(s.Y, measure(prog, mach, in))
+			s.Y = append(s.Y, run(prog, mach, in))
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -52,6 +57,11 @@ func Figure7(params machine.Params, blockWords, maxP int) Figure {
 // a function of the block size, at fixed machine size p (64 in the
 // paper). Block sizes sweep from step to maxM in equal steps.
 func Figure8(params machine.Params, p, step, maxM int) Figure {
+	return Figure8On(params, p, step, maxM, RunVirtual)
+}
+
+// Figure8On is Figure8 with an explicit measurement backend.
+func Figure8On(params machine.Params, p, step, maxM int, run Runner) Figure {
 	fig := Figure{
 		Title:  fmt.Sprintf("Figure 8: BS-Comcast variants on %d processors", p),
 		XLabel: "block size",
@@ -66,7 +76,7 @@ func Figure8(params machine.Params, p, step, maxM int) Figure {
 			mach := core.Machine{Ts: params.Ts, Tw: params.Tw, P: p, M: m}
 			in := inputs(8, p, m)
 			s.X = append(s.X, float64(m))
-			s.Y = append(s.Y, measure(prog, mach, in))
+			s.Y = append(s.Y, run(prog, mach, in))
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -78,6 +88,14 @@ func Figure8(params machine.Params, p, step, maxM int) Figure {
 // the block size m sweeps across the predicted crossover — SS2-Scan's
 // ts > 2m, for instance, makes the two curves intersect at m = ts/2.
 func CrossoverFigure(ruleName string, params machine.Params, p int, ms []int) Figure {
+	return CrossoverFigureOn(ruleName, params, p, ms, RunVirtual)
+}
+
+// CrossoverFigureOn is CrossoverFigure with an explicit measurement
+// backend: with NativeRunner the crossover plotted is the host's real
+// one — where the fused form's saved synchronization rounds stop paying
+// for its extra local work.
+func CrossoverFigureOn(ruleName string, params machine.Params, p int, ms []int, run Runner) Figure {
 	var pat *RulePattern
 	for _, candidate := range Patterns() {
 		if candidate.Rule == ruleName {
@@ -112,9 +130,9 @@ func CrossoverFigure(ruleName string, params machine.Params, p int, ms []int) Fi
 		mach := core.Machine{Ts: params.Ts, Tw: params.Tw, P: p, M: m}
 		in := inputs(4, p, m)
 		lhsSeries.X = append(lhsSeries.X, float64(m))
-		lhsSeries.Y = append(lhsSeries.Y, measure(pat.LHS, mach, in))
+		lhsSeries.Y = append(lhsSeries.Y, run(pat.LHS, mach, in))
 		rhsSeries.X = append(rhsSeries.X, float64(m))
-		rhsSeries.Y = append(rhsSeries.Y, measure(rhs, mach, in))
+		rhsSeries.Y = append(rhsSeries.Y, run(rhs, mach, in))
 	}
 	fig.Series = []Series{lhsSeries, rhsSeries}
 	return fig
@@ -127,6 +145,11 @@ func CrossoverFigure(ruleName string, params machine.Params, p int, ms []int) Fi
 // the operational content of the paper's claim that "good optimization
 // here may pay a lot" on large machines.
 func Scaling(ruleName string, params machine.Params, totalWords int, ps []int) Figure {
+	return ScalingOn(ruleName, params, totalWords, ps, RunVirtual)
+}
+
+// ScalingOn is Scaling with an explicit measurement backend.
+func ScalingOn(ruleName string, params machine.Params, totalWords int, ps []int, run Runner) Figure {
 	var pat *RulePattern
 	for _, candidate := range Patterns() {
 		if candidate.Rule == ruleName {
@@ -161,9 +184,9 @@ func Scaling(ruleName string, params machine.Params, totalWords int, ps []int) F
 		mach := core.Machine{Ts: params.Ts, Tw: params.Tw, P: p, M: m}
 		in := inputs(5, p, m)
 		before.X = append(before.X, float64(p))
-		before.Y = append(before.Y, measure(pat.LHS, mach, in))
+		before.Y = append(before.Y, run(pat.LHS, mach, in))
 		after.X = append(after.X, float64(p))
-		after.Y = append(after.Y, measure(core.FromTerm(opt), mach, in))
+		after.Y = append(after.Y, run(core.FromTerm(opt), mach, in))
 	}
 	fig.Series = []Series{before, after}
 	return fig

@@ -65,6 +65,14 @@ type Table1Row struct {
 // engine and measures both sides on the virtual machine (p must then be a
 // power of two, matching the butterfly model the predictions assume).
 func Table1(mach core.Machine, measured bool) []Table1Row {
+	return Table1On(mach, measured, RunVirtual)
+}
+
+// Table1On is Table1 with an explicit measurement backend: pass
+// NativeRunner to fill the measured columns with wall-clock nanoseconds
+// from the goroutine backend instead of virtual time units (the
+// predictions stay the closed forms either way).
+func Table1On(mach core.Machine, measured bool, run Runner) []Table1Row {
 	params := cost.Params{Ts: mach.Ts, Tw: mach.Tw, M: mach.M, P: mach.P}
 	var out []Table1Row
 	for _, pat := range Patterns() {
@@ -93,8 +101,8 @@ func Table1(mach core.Machine, measured bool) []Table1Row {
 			}
 			rhs := core.FromTerm(opt)
 			in := inputs(1, mach.P, mach.M)
-			row.MeasBefore = measure(pat.LHS, mach, in)
-			row.MeasAfter = measure(rhs, mach, in)
+			row.MeasBefore = run(pat.LHS, mach, in)
+			row.MeasAfter = run(rhs, mach, in)
 			row.MeasImproves = row.MeasAfter < row.MeasBefore
 			row.Rewritten = rhs.String()
 		}
@@ -140,6 +148,14 @@ type CrossoverResult struct {
 // under the deterministic cost model, so bisection is sound as long as
 // the improvement is monotone in m, which it is for every Table 1 rule.
 func MeasureCrossover(ruleName string, mach core.Machine, maxM int) CrossoverResult {
+	return MeasureCrossoverOn(ruleName, mach, maxM, RunVirtual)
+}
+
+// MeasureCrossoverOn is MeasureCrossover with an explicit measurement
+// backend. With NativeRunner the bisection runs on noisy wall-clock
+// times; use enough repetitions that the improvement stays effectively
+// monotone, and read the result as an estimate, not an exact bound.
+func MeasureCrossoverOn(ruleName string, mach core.Machine, maxM int, run Runner) CrossoverResult {
 	entry, ok := cost.Lookup(ruleName)
 	if !ok {
 		panic(fmt.Sprintf("exper: no Table 1 entry for %s", ruleName))
@@ -173,7 +189,7 @@ func MeasureCrossover(ruleName string, mach core.Machine, maxM int) CrossoverRes
 		mm := mach
 		mm.M = m
 		in := inputs(1, mach.P, m)
-		return measure(rhs, mm, in) < measure(pat.LHS, mm, in)
+		return run(rhs, mm, in) < run(pat.LHS, mm, in)
 	}
 	switch {
 	case improves(maxM):
