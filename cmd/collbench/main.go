@@ -14,6 +14,7 @@
 //	collbench -polyeval               reproduce the §5 case study
 //	collbench -everything             all of the above
 //	collbench -benchjson FILE         wall-clock fusion suite → JSON
+//	collbench -calibrate              fit ts/tw/tc from native microbenchmarks
 //
 // Measurements default to the virtual machine, whose deterministic
 // makespans follow the §4.1 cost model; -backend native re-runs them on
@@ -22,6 +23,15 @@
 // Parsytec-like start-up-dominated network (ts = 5000, tw = 1) and can be
 // overridden with -ts/-tw/-p/-m; the native backend ignores ts/tw — the
 // host's real start-up and bandwidth apply.
+//
+// -calibrate measures this machine's actual parameters: it runs the
+// ping-pong/compute/collective probe family on the native backend, fits
+// the a·ts + b·m·tw + c·m model by weighted least squares, validates
+// every rule's predicted break-even against measurement, and (with
+// -params-file FILE) writes the machine-readable report — see the
+// committed CALIB_native.json. -quick shrinks the sweep to a smoke run.
+// In any other mode, -params-file FILE loads a previous report and uses
+// its calibrated ts/tw in place of the -ts/-tw defaults.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/calib"
 	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/exper"
@@ -66,12 +77,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	backendFlag := fs.String("backend", "virtual", "measurement backend: virtual (cost-model time) or native (wall-clock goroutines)")
 	reps := fs.Int("reps", 5, "repetitions per native measurement (minimum taken)")
 	benchjson := fs.String("benchjson", "", "run the native wall-clock fusion suite and write records to this JSON file")
+	calibrate := fs.Bool("calibrate", false, "fit ts/tw from native microbenchmarks and validate every rule's break-even")
+	quick := fs.Bool("quick", false, "with -calibrate: minimal sweep (smoke run for CI)")
+	paramsFile := fs.String("params-file", "", "with -calibrate: write the calibration report here; otherwise: load calibrated ts/tw from this report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if err := validate(*p, *m, *reps, *backendFlag, *table1 && *measured); err != nil {
 		fmt.Fprintf(stderr, "collbench: %v\n", err)
 		return 2
+	}
+
+	if *calibrate {
+		cfg := calib.DefaultConfig()
+		if *quick {
+			cfg = calib.QuickConfig()
+		}
+		cfg.Reps = *reps
+		rep, err := calib.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, calib.FormatReport(rep))
+		if *paramsFile != "" {
+			if err := calib.WriteReport(*paramsFile, rep); err != nil {
+				fmt.Fprintf(stderr, "collbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote calibration report to %s\n", *paramsFile)
+		}
+		return 0
+	}
+	if *paramsFile != "" {
+		rep, err := calib.ReadReport(*paramsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		*ts, *tw = rep.Fit.Ts, rep.Fit.Tw
+		fmt.Fprintf(stdout, "using calibrated parameters from %s: ts=%.1f tw=%.4f\n", *paramsFile, *ts, *tw)
 	}
 	native := *backendFlag == "native"
 	run := exper.RunVirtual
@@ -91,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg := exper.DefaultNativeFusionConfig()
 		cfg.P = *p
 		cfg.Reps = *reps
+		cfg.Ts, cfg.Tw = *ts, *tw
 		recs, err := exper.NativeFusion(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)

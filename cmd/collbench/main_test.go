@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/calib"
 	"repro/internal/exper"
 )
 
@@ -222,5 +223,49 @@ func TestAppsFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "mss strong scaling") || !strings.Contains(out, "samplesort strong scaling") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCalibrateQuick(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "CALIB_native.json")
+	out, errb, code := runBench(t, "-calibrate", "-quick", "-reps", "1", "-params-file", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Calibration", "fitted (ns)", "Break-even validation", "wrote calibration report"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+	rep, err := calib.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "native" || len(rep.Validation) == 0 {
+		t.Fatalf("report is not usable: %+v", rep)
+	}
+
+	// Round-trip: the report drives a predicted Table 1 run.
+	out, errb, code = runBench(t, "-table1", "-params-file", path, "-p", "8", "-m", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "using calibrated parameters from") {
+		t.Fatalf("output does not acknowledge the params file:\n%s", out)
+	}
+}
+
+func TestParamsFileErrors(t *testing.T) {
+	if _, errb, code := runBench(t, "-table1", "-params-file", "/nonexistent/calib.json"); code != 1 ||
+		!strings.Contains(errb, "collbench:") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, errb, code := runBench(t, "-table1", "-params-file", bad); code != 1 ||
+		!strings.Contains(errb, "not a calibration report") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
 	}
 }

@@ -16,6 +16,10 @@
 //	-all      apply every applicable rule, ignoring the cost estimates
 //	-verify   check the rewriting on random inputs (default true)
 //
+//	-params-file FILE  use the calibrated ts/tw from a collbench -calibrate
+//	                   report, so the cost-guided decisions reflect this
+//	                   machine instead of the defaults
+//
 // Example:
 //
 //	$ collopt -ts 1000 -m 16 "bcast ; scan(+) ; scan(+)"
@@ -30,6 +34,7 @@ import (
 	"os"
 
 	"repro/internal/algebra"
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/rules"
@@ -54,8 +59,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mpi := fs.Bool("mpi", false, "parse the program in the paper's MPI notation instead of the compact one")
 	emitMPI := fs.Bool("emit-mpi", false, "render the optimized program as MPI-like pseudocode")
 	explain := fs.Bool("explain", false, "render applications in the paper's rule format")
+	paramsFile := fs.String("params-file", "", "load calibrated ts/tw from a collbench -calibrate report")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	calibrated := ""
+	if *paramsFile != "" {
+		rep, err := calib.ReadReport(*paramsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "collopt: %v\n", err)
+			return 1
+		}
+		*ts, *tw = rep.Fit.Ts, rep.Fit.Tw
+		calibrated = fmt.Sprintf(" (calibrated from %s)", *paramsFile)
 	}
 	if *catalog {
 		fmt.Fprint(stdout, rules.Catalog(true))
@@ -80,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mach := core.Machine{Ts: *ts, Tw: *tw, P: *p, M: *m}
 
 	fmt.Fprintf(stdout, "program:  %s\n", prog)
-	fmt.Fprintf(stdout, "machine:  ts=%g tw=%g p=%d m=%d\n", *ts, *tw, *p, *m)
+	fmt.Fprintf(stdout, "machine:  ts=%.4g tw=%.4g p=%d m=%d%s\n", *ts, *tw, *p, *m, calibrated)
 	fmt.Fprintf(stdout, "estimate: %.0f\n\n", prog.Estimate(mach))
 
 	apps := prog.Applicable(mach)

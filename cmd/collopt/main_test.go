@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/calib"
 )
 
 func runOpt(t *testing.T, args ...string) (string, string, int) {
@@ -138,5 +141,26 @@ func TestLocalRuleVerifiesOnItsDomain(t *testing.T) {
 	}
 	if !strings.Contains(out, "applied BSR-Local") || !strings.Contains(out, "verified:") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestParamsFileDrivesOptimizer(t *testing.T) {
+	rep := calib.Report{Backend: "native", Reps: 1,
+		Fit: calib.Fit{TsNs: 1200, TwNs: 4, TcNs: 4, Ts: 300, Tw: 1}}
+	path := filepath.Join(t.TempDir(), "calib.json")
+	if err := calib.WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	out, errb, code := runOpt(t, "-params-file", path, "-p", "8", "-m", "4", "scan(+) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "ts=300 tw=1") || !strings.Contains(out, "(calibrated from "+path+")") {
+		t.Fatalf("calibrated parameters not in force:\n%s", out)
+	}
+
+	if _, errb, code := runOpt(t, "-params-file", "/nonexistent.json", "scan(+)"); code != 1 ||
+		!strings.Contains(errb, "collopt:") {
+		t.Fatalf("missing params file: exit %d, stderr: %s", code, errb)
 	}
 }

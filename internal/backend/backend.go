@@ -16,6 +16,29 @@
 // coll.Comm, the whole collective library — and every optimization-rule
 // rewrite — runs unmodified on either backend, which is what makes the
 // conformance harness in this package possible.
+//
+// # Timing methodology
+//
+// Every Run follows the same discipline, shared by the experiment
+// harness (exper.NativeRunner) and the calibration probes (package
+// calib):
+//
+//   - Barrier start. All P rank goroutines are spawned first and wait on
+//     a barrier; the clock of every rank starts only when all ranks are
+//     released together, so goroutine spawn cost never pollutes the
+//     measurement and no rank gets a head start.
+//   - Per-rank elapsed time. Each rank records its own time.Now delta
+//     from the barrier release to the end of its program, giving a
+//     per-rank profile (Result.Ranks).
+//   - Makespan. The run's reported cost is the maximum per-rank elapsed
+//     time — the finish of the last rank — matching how the §4.1 model
+//     prices a collective by its slowest processor.
+//
+// Single runs of short programs sit near timer resolution and scheduler
+// noise; callers that need stable numbers iterate the operation inside
+// one Run to amortize the timer, repeat the run several times, and take
+// the minimum as the undisturbed estimate. NativeRunner and the calib
+// probes both do exactly this.
 package backend
 
 import (

@@ -1,0 +1,152 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is the result of calibrating the §4.1 cost model against native
+// measurements: the three machine parameters in nanoseconds, their
+// translation into the paper's unit system, and the goodness of fit.
+//
+// The regression model is the cost calculus itself: every probe run has
+// known coefficients (a, b, c) such that the model predicts
+//
+//	time ≈ a·TsNs + b·TwNs + c·TcNs
+//
+// where a counts message start-ups, b word transfers and c elementary
+// operations (see Coef). Solving the weighted least-squares system over
+// all probe samples recovers the three parameters at once.
+type Fit struct {
+	// TsNs is the fitted message start-up time in nanoseconds — on the
+	// native backend, the cost of a channel rendezvous plus the scheduler
+	// wake-up of the receiving goroutine.
+	TsNs float64 `json:"ts_ns"`
+	// TwNs is the fitted per-word transfer time in nanoseconds. Native
+	// sends transfer a block reference, not the words, so on shared
+	// memory this is near zero — the calibration discovers that rather
+	// than assuming it.
+	TwNs float64 `json:"tw_ns"`
+	// TcNs is the fitted cost of one elementary operation (one base
+	// operator application to one word) in nanoseconds, including the
+	// allocation the operator's value semantics implies.
+	TcNs float64 `json:"tc_ns"`
+	// Ts and Tw are the start-up and per-word times in the paper's unit
+	// system — multiples of one elementary operation, i.e. TsNs/TcNs and
+	// TwNs/TcNs (clamped at zero) — directly usable as cost.Params.
+	Ts float64 `json:"ts"`
+	Tw float64 `json:"tw"`
+	// N is the number of samples the fit used.
+	N int `json:"n"`
+	// R2 is the coefficient of determination of the unweighted
+	// residuals.
+	R2 float64 `json:"r2"`
+	// RelRMSE and MaxRelErr summarize the per-sample relative residuals
+	// |predicted−measured|/measured: root mean square and worst case.
+	RelRMSE   float64 `json:"rel_rmse"`
+	MaxRelErr float64 `json:"max_rel_err"`
+}
+
+// Predict is the fitted model's time for a probe sample's coefficients,
+// in nanoseconds.
+func (f Fit) Predict(s Sample) float64 {
+	return s.CoefTs*f.TsNs + s.CoefTw*f.TwNs + s.CoefC*f.TcNs
+}
+
+// FitSamples solves the weighted least-squares system over the samples
+// and returns the fitted parameters with residual statistics. Samples
+// are weighted by 1/measured-time, so the minimized quantity is the
+// relative error — without this, the large-block samples (milliseconds)
+// would drown the small-block ones (microseconds) that pin down TsNs.
+//
+// It fails if fewer than three linearly independent probe shapes are
+// present (the normal matrix is then singular) or if the fitted
+// elementary-operation cost is not positive (no unit to express Ts/Tw
+// in).
+func FitSamples(samples []Sample) (Fit, error) {
+	if len(samples) < 3 {
+		return Fit{}, fmt.Errorf("calib: need at least 3 samples, got %d", len(samples))
+	}
+	// Weighted normal equations A·β = b with weight 1/y per row.
+	var a [3][3]float64
+	var b [3]float64
+	for _, s := range samples {
+		if s.Ns <= 0 {
+			return Fit{}, fmt.Errorf("calib: sample %s p=%d m=%d has non-positive time %g", s.Probe, s.P, s.M, s.Ns)
+		}
+		x := [3]float64{s.CoefTs, s.CoefTw, s.CoefC}
+		w2 := 1 / (s.Ns * s.Ns)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] += w2 * x[i] * x[j]
+			}
+			b[i] += w2 * x[i] * s.Ns
+		}
+	}
+	beta, err := solve3(a, b)
+	if err != nil {
+		return Fit{}, err
+	}
+	f := Fit{TsNs: beta[0], TwNs: beta[1], TcNs: beta[2], N: len(samples)}
+	if f.TcNs <= 0 {
+		return Fit{}, fmt.Errorf("calib: fitted elementary-operation cost %.3g ns is not positive; the probe set cannot express ts/tw in operation units", f.TcNs)
+	}
+	f.Ts = math.Max(f.TsNs, 0) / f.TcNs
+	f.Tw = math.Max(f.TwNs, 0) / f.TcNs
+
+	// Residual statistics.
+	var ss, tot, mean, rel2 float64
+	for _, s := range samples {
+		mean += s.Ns
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		r := f.Predict(s) - s.Ns
+		ss += r * r
+		tot += (s.Ns - mean) * (s.Ns - mean)
+		re := math.Abs(r) / s.Ns
+		rel2 += re * re
+		if re > f.MaxRelErr {
+			f.MaxRelErr = re
+		}
+	}
+	if tot > 0 {
+		f.R2 = 1 - ss/tot
+	}
+	f.RelRMSE = math.Sqrt(rel2 / float64(len(samples)))
+	return f, nil
+}
+
+// solve3 solves the 3×3 linear system by Gaussian elimination with
+// partial pivoting.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-18 {
+			return [3]float64{}, fmt.Errorf("calib: degenerate probe design — need probes that separate start-up, transfer and compute costs")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 3; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, nil
+}

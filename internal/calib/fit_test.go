@@ -1,0 +1,167 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthetic builds a full probe sample set from known machine
+// parameters: every probe shape at every (p, m), timed exactly by the
+// model (plus optional multiplicative noise). workers ≤ 0 generates the
+// paper's fully parallel coefficients.
+func synthetic(tsNs, twNs, tcNs float64, ps, ms []int, workers int, noise float64, rng *rand.Rand) []Sample {
+	var out []Sample
+	add := func(probe string, p, m, rounds int) {
+		s := Sample{Probe: probe, P: p, M: m, Rounds: rounds}
+		s.CoefTs, s.CoefTw, s.CoefC = Coef(probe, p, m, rounds, workers)
+		s.Ns = s.CoefTs*tsNs + s.CoefTw*twNs + s.CoefC*tcNs
+		if noise > 0 {
+			s.Ns *= 1 + noise*(2*rng.Float64()-1)
+		}
+		out = append(out, s)
+	}
+	for _, m := range ms {
+		add(ProbePingPong, 2, m, 128)
+		add(ProbeCompute, 1, m, 2048)
+	}
+	for _, p := range ps {
+		for _, m := range ms {
+			add(ProbeBcast, p, m, 32)
+			add(ProbeReduce, p, m, 32)
+			add(ProbeScan, p, m, 32)
+		}
+	}
+	return out
+}
+
+func TestFitRecoversExactParameters(t *testing.T) {
+	cases := []struct {
+		name    string
+		ps      []int
+		workers int
+	}{
+		{"pow2", []int{2, 4, 8, 16}, 0},
+		{"nonpow2", []int{3, 5, 6, 7}, 0},
+		{"pow2-serialized", []int{2, 4, 8}, 2},
+		{"nonpow2-serialized", []int{3, 6, 12}, 4},
+	}
+	ts, tw, tc := 800.0, 1.25, 3.5
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			samples := synthetic(ts, tw, tc, c.ps, []int{1, 8, 64, 512, 4096}, c.workers, 0, nil)
+			fit, err := FitSamples(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"TsNs", fit.TsNs, ts},
+				{"TwNs", fit.TwNs, tw},
+				{"TcNs", fit.TcNs, tc},
+				{"Ts", fit.Ts, ts / tc},
+				{"Tw", fit.Tw, tw / tc},
+			} {
+				if rel := math.Abs(g.got-g.want) / g.want; rel > 1e-6 {
+					t.Errorf("%s = %g, want %g (rel err %g)", g.name, g.got, g.want, rel)
+				}
+			}
+			if fit.MaxRelErr > 1e-9 || fit.R2 < 1-1e-9 {
+				t.Errorf("exact data should fit exactly: R2=%g maxRelErr=%g", fit.R2, fit.MaxRelErr)
+			}
+		})
+	}
+}
+
+func TestFitRecoversUnderNoise(t *testing.T) {
+	ts, tw, tc := 600.0, 0.8, 4.0
+	for _, ps := range [][]int{{2, 4, 8}, {3, 5, 6, 7}} {
+		rng := rand.New(rand.NewSource(7))
+		samples := synthetic(ts, tw, tc, ps, []int{1, 4, 16, 64, 256, 1024, 4096}, 0, 0.05, rng)
+		fit, err := FitSamples(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ±5% multiplicative noise across ~80 samples: parameters must
+		// come back within 15%.
+		for _, g := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"TsNs", fit.TsNs, ts},
+			{"TwNs", fit.TwNs, tw},
+			{"TcNs", fit.TcNs, tc},
+		} {
+			if rel := math.Abs(g.got-g.want) / g.want; rel > 0.15 {
+				t.Errorf("ps=%v: %s = %g, want %g within 15%%", ps, g.name, g.got, g.want)
+			}
+		}
+		if fit.MaxRelErr > 0.06 {
+			t.Errorf("ps=%v: max rel err %g exceeds the injected noise", ps, fit.MaxRelErr)
+		}
+	}
+}
+
+func TestFitRejectsDegenerateDesign(t *testing.T) {
+	// Only ping-pong samples: the compute column is identically zero, so
+	// the three parameters are not separable.
+	var samples []Sample
+	for _, m := range []int{1, 16, 256} {
+		s := Sample{Probe: ProbePingPong, P: 2, M: m, Rounds: 8}
+		s.CoefTs, s.CoefTw, s.CoefC = Coef(ProbePingPong, 2, m, 8, 0)
+		s.Ns = s.CoefTs*100 + s.CoefTw*2
+		samples = append(samples, s)
+	}
+	if _, err := FitSamples(samples); err == nil {
+		t.Fatal("degenerate design must not fit")
+	}
+}
+
+func TestFitRejectsNonPositiveUnit(t *testing.T) {
+	// Consistent samples generated with a negative per-op cost (start-up
+	// large enough that every run time stays positive): the system
+	// solves, but there is no unit to express ts/tw in. The compute
+	// probe is excluded — bcast/reduce/scan alone already separate the
+	// three columns.
+	var samples []Sample
+	for _, s := range synthetic(10000, 1, -2, []int{2, 4}, []int{1, 16, 64}, 0, 0, nil) {
+		if s.Probe != ProbeCompute && s.Probe != ProbePingPong {
+			samples = append(samples, s)
+		}
+	}
+	if _, err := FitSamples(samples); err == nil {
+		t.Fatal("non-positive fitted unit must be rejected")
+	}
+}
+
+func TestFitNeedsSamples(t *testing.T) {
+	if _, err := FitSamples(nil); err == nil {
+		t.Fatal("empty sample set must not fit")
+	}
+}
+
+func TestCoefReducesToPaperModel(t *testing.T) {
+	// With unlimited workers the coefficients are the §4.1 critical
+	// path: log p messages, log p·m words, {0, 1, 2}·log p·m operations.
+	for _, c := range []struct {
+		probe   string
+		opsFrac float64
+	}{{ProbeBcast, 0}, {ProbeReduce, 1}, {ProbeScan, 2}} {
+		a, b, ops := Coef(c.probe, 8, 16, 1, 0)
+		if a != 3 || b != 48 || ops != c.opsFrac*48 {
+			t.Errorf("%s: coef = (%g, %g, %g), want (3, 48, %g)", c.probe, a, b, ops, c.opsFrac*48)
+		}
+	}
+	// Non-power-of-two group sizes round the phase count up.
+	if a, _, _ := Coef(ProbeBcast, 5, 1, 1, 0); a != 3 {
+		t.Errorf("p=5 should have ceil(log2 5) = 3 phases, got %g", a)
+	}
+	// Serialization never reduces a coefficient below the critical path.
+	aPar, _, cPar := Coef(ProbeScan, 8, 16, 1, 0)
+	aSer, _, cSer := Coef(ProbeScan, 8, 16, 1, 1)
+	if aSer < aPar || cSer < cPar {
+		t.Errorf("serialized coefficients (%g, %g) fell below the critical path (%g, %g)", aSer, cSer, aPar, cPar)
+	}
+}

@@ -1,0 +1,118 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report is the machine-readable calibration artifact (CALIB_native.json):
+// the backend and repetition discipline that produced it, the fitted
+// parameters with residuals, every raw probe sample, and the per-rule
+// break-even validation. A report is self-describing — everything needed
+// to reproduce or audit the numbers is in the file.
+type Report struct {
+	// Backend names the measurement backend ("native").
+	Backend string `json:"backend"`
+	// Reps is the repetitions per measurement (minimum taken) and
+	// Rounds the base in-run iteration count.
+	Reps   int `json:"reps"`
+	Rounds int `json:"rounds"`
+	// Fit is the fitted parameter set.
+	Fit Fit `json:"fit"`
+	// Samples are the raw probe observations the fit used.
+	Samples []Sample `json:"samples"`
+	// Validation is the per-rule predicted-vs-measured break-even
+	// record.
+	Validation []RuleValidation `json:"validation"`
+}
+
+// Run performs the full calibration pipeline — measure, fit, validate —
+// and assembles the report.
+func Run(cfg Config) (Report, error) {
+	fit, samples, err := Calibrate(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	val, err := Validate(fit, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Backend:    "native",
+		Reps:       cfg.Reps,
+		Rounds:     cfg.Rounds,
+		Fit:        fit,
+		Samples:    samples,
+		Validation: val,
+	}, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteReport. CLI front-ends use
+// it to feed the calibrated Ts/Tw back into the cost-guided optimizer
+// (-params-file).
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("calib: %s is not a calibration report: %v", path, err)
+	}
+	if r.Fit.TcNs <= 0 {
+		return Report{}, fmt.Errorf("calib: %s has no usable fit (tc_ns = %g)", path, r.Fit.TcNs)
+	}
+	return r, nil
+}
+
+// FormatReport renders the fit and validation as aligned text — the
+// human half of collbench -calibrate.
+func FormatReport(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Calibration (%s backend, reps=%d, %d samples) ==\n", r.Backend, r.Reps, len(r.Samples))
+	fmt.Fprintf(&b, "fitted (ns):   Ts = %.1f   Tw = %.4f   Tc = %.3f\n", r.Fit.TsNs, r.Fit.TwNs, r.Fit.TcNs)
+	fmt.Fprintf(&b, "model units:   ts = %.1f    tw = %.4f   (1 unit = one elementary op = %.3f ns)\n",
+		r.Fit.Ts, r.Fit.Tw, r.Fit.TcNs)
+	fmt.Fprintf(&b, "fit quality:   R² = %.4f   rel RMSE = %.1f%%   max rel err = %.1f%%\n",
+		r.Fit.R2, 100*r.Fit.RelRMSE, 100*r.Fit.MaxRelErr)
+	if len(r.Validation) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(FormatValidation(r.Validation))
+	}
+	return b.String()
+}
+
+// FormatValidation renders the per-rule break-even table.
+func FormatValidation(val []RuleValidation) string {
+	var b strings.Builder
+	if len(val) == 0 {
+		return ""
+	}
+	cap := val[0].Ms[len(val[0].Ms)-1]
+	fmt.Fprintf(&b, "== Break-even validation (p=%d, sweep m=%d..%d, predicted with calibrated ts/tw) ==\n",
+		val[0].P, val[0].Ms[0], cap)
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s %8s %7s\n", "Rule", "predicted m", "measured m", "abs err", "rel err", "agree")
+	for _, v := range val {
+		pred, meas := fmt.Sprintf("%d", v.PredCross), fmt.Sprintf("%d", v.MeasCross)
+		if v.PredCross == cap {
+			pred += " (cap)"
+		}
+		if v.MeasCross == cap {
+			meas += " (cap)"
+		}
+		fmt.Fprintf(&b, "%-14s %12s %12s %8d %7.0f%% %6.0f%%\n",
+			v.Rule, pred, meas, v.AbsErr, 100*v.RelErr, 100*v.Agreement)
+	}
+	return b.String()
+}

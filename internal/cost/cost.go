@@ -19,13 +19,13 @@ import (
 // processors P.
 type Params struct {
 	// Ts is the message start-up time.
-	Ts float64
+	Ts float64 `json:"ts"`
 	// Tw is the per-word transfer time.
-	Tw float64
+	Tw float64 `json:"tw"`
 	// M is the block size in words.
-	M int
+	M int `json:"m"`
 	// P is the number of processors.
-	P int
+	P int `json:"p"`
 }
 
 // LogP is the number of butterfly phases, ceil(log2 P) — the log p factor

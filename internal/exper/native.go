@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/rules"
 )
 
@@ -28,6 +29,13 @@ var RunVirtual Runner = measure
 // wall-clock microbenchmarks; the minimum estimates the undisturbed run).
 // The machine's Ts/Tw are ignored — the host's real start-up and
 // bandwidth apply.
+//
+// Timing methodology (see package backend for the implementation): each
+// run spawns one goroutine per rank, releases all ranks together from a
+// barrier-synchronized start, lets every rank record its own elapsed
+// wall time, and reports the makespan — the finish time of the last
+// rank — as the run's cost, mirroring how the §4.1 model prices the
+// slowest processor.
 func NativeRunner(reps int) Runner {
 	if reps < 1 {
 		reps = 1
@@ -45,8 +53,19 @@ func NativeRunner(reps int) Runner {
 }
 
 // NativeBenchRecord is one row of the native wall-clock suite, the
-// machine-readable unit of BENCH_native.json.
+// machine-readable unit of BENCH_native.json. Each record is
+// self-describing: besides the measurement it names the backend, the
+// repetition discipline, and the cost-model parameters the run assumed,
+// so a record can be audited without the command line that produced it.
 type NativeBenchRecord struct {
+	// Backend names the measurement backend ("native").
+	Backend string `json:"backend"`
+	// Reps is the number of repetitions the measurement is the minimum
+	// of.
+	Reps int `json:"reps"`
+	// Params are the cost-model parameters in force for this row —
+	// ts/tw as configured (or calibrated), and this row's p and m.
+	Params cost.Params `json:"params"`
 	// Op is the measured program in the paper's notation.
 	Op string `json:"op"`
 	// Rule is the optimization rule the program belongs to.
@@ -76,6 +95,10 @@ type NativeFusionConfig struct {
 	Reps int
 	// Rules restricts the suite to the named rules; nil measures all.
 	Rules []string
+	// Ts and Tw are the cost-model parameters to record with each row
+	// (they do not affect the measurement — the host's real costs
+	// apply). Pass calibrated values so the emitted records carry them.
+	Ts, Tw float64
 }
 
 // DefaultNativeFusionConfig sweeps all rules on 8 ranks across four block
@@ -139,12 +162,15 @@ func NativeFusion(cfg NativeFusionConfig) ([]NativeBenchRecord, error) {
 			run(pat.LHS, mach, in)
 			lhsNs := run(pat.LHS, mach, in)
 			rhsNs := run(rhs, mach, in)
+			params := cost.Params{Ts: cfg.Ts, Tw: cfg.Tw, M: m, P: cfg.P}
 			out = append(out,
 				NativeBenchRecord{
+					Backend: "native", Reps: cfg.Reps, Params: params,
 					Op: pat.LHS.String(), Rule: pat.Rule, Side: "lhs",
 					P: cfg.P, M: m, NsPerOp: lhsNs, Speedup: 1,
 				},
 				NativeBenchRecord{
+					Backend: "native", Reps: cfg.Reps, Params: params,
 					Op: rhs.String(), Rule: pat.Rule, Side: "rhs",
 					P: cfg.P, M: m, NsPerOp: rhsNs, Speedup: lhsNs / rhsNs,
 				})

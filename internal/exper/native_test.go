@@ -23,7 +23,7 @@ func TestNativeRunnerMeasuresWallClock(t *testing.T) {
 
 func TestNativeFusionRecordsAndJSON(t *testing.T) {
 	cfg := NativeFusionConfig{P: 4, Ms: []int{1, 16}, Reps: 2,
-		Rules: []string{"SS2-Scan", "BR-Local"}}
+		Rules: []string{"SS2-Scan", "BR-Local"}, Ts: 150, Tw: 0.5}
 	recs, err := NativeFusion(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +42,14 @@ func TestNativeFusionRecordsAndJSON(t *testing.T) {
 		if r.Side == "rhs" && r.Speedup <= 0 {
 			t.Errorf("rhs speedup = %g, want > 0", r.Speedup)
 		}
+		// Every record is self-describing: backend, reps, and the
+		// cost-model parameters in force.
+		if r.Backend != "native" || r.Reps != cfg.Reps {
+			t.Errorf("%s/%s: backend=%q reps=%d, want native/%d", r.Rule, r.Side, r.Backend, r.Reps, cfg.Reps)
+		}
+		if r.Params.Ts != cfg.Ts || r.Params.Tw != cfg.Tw || r.Params.P != cfg.P || r.Params.M != r.M {
+			t.Errorf("%s/%s m=%d: params %+v do not describe the run", r.Rule, r.Side, r.M, r.Params)
+		}
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := WriteBenchJSON(path, recs); err != nil {
@@ -57,6 +65,11 @@ func TestNativeFusionRecordsAndJSON(t *testing.T) {
 	}
 	if len(back) != len(recs) {
 		t.Fatalf("round-trip lost records: %d != %d", len(back), len(recs))
+	}
+	for i := range back {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d did not round-trip:\n got %+v\nwant %+v", i, back[i], recs[i])
+		}
 	}
 }
 
