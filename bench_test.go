@@ -481,3 +481,88 @@ func BenchmarkSemanticEval(b *testing.B) {
 		term.Eval(t, in)
 	}
 }
+
+// BenchmarkKernelAllocs is the allocation table of the operator kernels:
+// run with `go test -run=NONE -bench=KernelAllocs -benchmem` and read the
+// allocs/op column. The in-place kernels (ApplyInto and the flat-tuple
+// paths) must report 0 allocs/op — the regression tests in
+// internal/algebra pin them there with testing.AllocsPerRun — while the
+// boxed reference path shows what every combine used to cost.
+func BenchmarkKernelAllocs(b *testing.B) {
+	const m = 1024
+	mkVec := func(seed int) algebra.Vec {
+		v := make(algebra.Vec, m)
+		for i := range v {
+			v[i] = float64((seed+i)%7 + 1)
+		}
+		return v
+	}
+	flatOf := func(w int) *algebra.FlatTuple {
+		ft := algebra.NewFlatTuple(w, m)
+		for i := 0; i < w; i++ {
+			copy(ft.Comp(i), mkVec(i))
+		}
+		return ft
+	}
+
+	b.Run("scalar/ApplyFloat", func(b *testing.B) {
+		b.ReportAllocs()
+		x, y, s := 3.0, 4.0, 0.0
+		for i := 0; i < b.N; i++ {
+			s = algebra.Add.ApplyFloat(s, x+y)
+		}
+		_ = s
+	})
+	b.Run("vec/Apply_reference", func(b *testing.B) {
+		b.ReportAllocs()
+		x, y := algebra.Value(mkVec(1)), algebra.Value(mkVec(2))
+		for i := 0; i < b.N; i++ {
+			algebra.Add.Apply(x, y)
+		}
+	})
+	b.Run("vec/ApplyInto", func(b *testing.B) {
+		b.ReportAllocs()
+		x, y := algebra.Value(mkVec(1)), algebra.Value(mkVec(2))
+		dst := algebra.Value(make(algebra.Vec, m))
+		for i := 0; i < b.N; i++ {
+			dst = algebra.Add.ApplyInto(dst, x, y)
+		}
+	})
+	b.Run("flat/op_sr2_Apply_reference", func(b *testing.B) {
+		b.ReportAllocs()
+		op := algebra.OpSR2(algebra.Mul, algebra.Add)
+		x := algebra.Value(algebra.Tuple{mkVec(1), mkVec(2)})
+		y := algebra.Value(algebra.Tuple{mkVec(3), mkVec(4)})
+		for i := 0; i < b.N; i++ {
+			op.Apply(x, y)
+		}
+	})
+	b.Run("flat/op_sr2_ApplyInto", func(b *testing.B) {
+		b.ReportAllocs()
+		op := algebra.OpSR2(algebra.Mul, algebra.Add)
+		x, y := algebra.Value(flatOf(2)), algebra.Value(flatOf(2))
+		dst := algebra.Value(algebra.NewFlatTuple(2, m))
+		for i := 0; i < b.N; i++ {
+			dst = op.ApplyInto(dst, x, y)
+		}
+	})
+	b.Run("flat/op_ss_lo_hi", func(b *testing.B) {
+		b.ReportAllocs()
+		op := algebra.OpSS(algebra.Add)
+		own, from := flatOf(4), flatOf(op.ShipWidth)
+		ship := algebra.NewFlatTuple(op.ShipWidth, m)
+		for i := 0; i < b.N; i++ {
+			op.FlatShip(ship, own)
+			op.FlatLo(own, own, ship)
+			op.FlatHi(own, own, from)
+		}
+	})
+	b.Run("flat/op_comp_bss_repeat", func(b *testing.B) {
+		b.ReportAllocs()
+		ops := algebra.OpCompBSS(algebra.Add)
+		w := flatOf(ops.Arity)
+		for i := 0; i < b.N; i++ {
+			ops.RepeatInto(6, w)
+		}
+	})
+}

@@ -32,6 +32,10 @@
 // committed CALIB_native.json. -quick shrinks the sweep to a smoke run.
 // In any other mode, -params-file FILE loads a previous report and uses
 // its calibrated ts/tw in place of the -ts/-tw defaults.
+//
+// -cpuprofile FILE and -memprofile FILE write runtime/pprof profiles of
+// whatever mode runs, for inspection with `go tool pprof`; see
+// docs/PERF.md for the profiling workflow.
 package main
 
 import (
@@ -45,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/machine"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -80,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	calibrate := fs.Bool("calibrate", false, "fit ts/tw from native microbenchmarks and validate every rule's break-even")
 	quick := fs.Bool("quick", false, "with -calibrate: minimal sweep (smoke run for CI)")
 	paramsFile := fs.String("params-file", "", "with -calibrate: write the calibration report here; otherwise: load calibrated ts/tw from this report")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +94,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "collbench: %v\n", err)
 		return 2
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "collbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+		}
+	}()
 
 	if *calibrate {
 		cfg := calib.DefaultConfig()

@@ -37,6 +37,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/lang"
+	"repro/internal/prof"
 	"repro/internal/rules"
 )
 
@@ -60,9 +61,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	emitMPI := fs.Bool("emit-mpi", false, "render the optimized program as MPI-like pseudocode")
 	explain := fs.Bool("explain", false, "render applications in the paper's rule format")
 	paramsFile := fs.String("params-file", "", "load calibrated ts/tw from a collbench -calibrate report")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "collopt: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "collopt: %v\n", err)
+		}
+	}()
 	calibrated := ""
 	if *paramsFile != "" {
 		rep, err := calib.ReadReport(*paramsFile)

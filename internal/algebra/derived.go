@@ -40,7 +40,7 @@ func tup4(v Value) (a, b, c, d Value) {
 // over ⊕, so it can drive the ordinary reduce and scan collectives.
 // Three elementary operations per element (Table 1: m·(2tw+3)).
 func OpSR2(otimes, oplus *Op) *Op {
-	return &Op{
+	op := &Op{
 		Name:  fmt.Sprintf("op_sr2(%s,%s)", otimes.Name, oplus.Name),
 		Cost:  3,
 		Arity: 2,
@@ -53,13 +53,27 @@ func OpSR2(otimes, oplus *Op) *Op {
 			}
 		},
 	}
+	if f, g := oplus.Elem, otimes.Elem; f != nil && g != nil {
+		op.FlatFn = func(dst, a, b *FlatTuple) {
+			m := a.M()
+			s1, r1 := a.Data[:m], a.Data[m:]
+			s2, r2 := b.Data[:m], b.Data[m:]
+			ds, dr := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				x1, y1, x2, y2 := s1[j], r1[j], s2[j], r2[j]
+				ds[j] = f(x1, g(y1, x2))
+				dr[j] = g(y1, y2)
+			}
+		}
+	}
+	return op
 }
 
 // OpNew builds the pointwise pair operator of the Figure 2 warm-up:
 //
 //	op_new((a1,b1),(a2,b2)) = (a1 op1 a2, b1 op2 b2)
 func OpNew(op1, op2 *Op) *Op {
-	return &Op{
+	op := &Op{
 		Name:  fmt.Sprintf("op_new(%s,%s)", op1.Name, op2.Name),
 		Cost:  op1.Cost + op2.Cost,
 		Arity: 2,
@@ -69,6 +83,20 @@ func OpNew(op1, op2 *Op) *Op {
 			return Tuple{op1.Apply(a1, a2), op2.Apply(b1, b2)}
 		},
 	}
+	if f1, f2 := op1.Elem, op2.Elem; f1 != nil && f2 != nil {
+		op.FlatFn = func(dst, a, b *FlatTuple) {
+			m := a.M()
+			a1, b1 := a.Data[:m], a.Data[m:]
+			a2, b2 := b.Data[:m], b.Data[m:]
+			da, db := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				x1, y1, x2, y2 := a1[j], b1[j], a2[j], b2[j]
+				da[j] = f1(x1, x2)
+				db[j] = f2(y1, y2)
+			}
+		}
+	}
+	return op
 }
 
 // OpSR builds op_sr of rule SR-Reduction, for commutative ⊕:
@@ -80,7 +108,7 @@ func OpNew(op1, op2 *Op) *Op {
 // five (Table 1: m·(2tw+4)). op_sr is not associative in general, so only
 // the balanced collectives of §3.2 may use it.
 func OpSR(oplus *Op) *Op {
-	return &Op{
+	op := &Op{
 		Name:  fmt.Sprintf("op_sr(%s)", oplus.Name),
 		Cost:  4,
 		Arity: 2,
@@ -98,6 +126,31 @@ func OpSR(oplus *Op) *Op {
 			return Tuple{t2, oplus.Apply(u2, u2)}
 		},
 	}
+	if f := oplus.Elem; f != nil {
+		op.FlatFn = func(dst, a, b *FlatTuple) {
+			m := a.M()
+			t1, u1 := a.Data[:m], a.Data[m:]
+			t2, u2 := b.Data[:m], b.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				x1, y1, x2, y2 := t1[j], u1[j], t2[j], u2[j]
+				uu := f(y1, y2)
+				dt[j] = f(f(x1, x2), y1)
+				du[j] = f(uu, uu)
+			}
+		}
+		op.FlatUnary = func(dst, b *FlatTuple) {
+			m := b.M()
+			t2, u2 := b.Data[:m], b.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				x2, y2 := t2[j], u2[j]
+				dt[j] = x2
+				du[j] = f(y2, y2)
+			}
+		}
+	}
+	return op
 }
 
 // OpSRNoSharing is the ablation variant of OpSR that recomputes u1 ⊕ u2
@@ -117,7 +170,21 @@ func OpSRNoSharing(oplus *Op) *Op {
 				oplus.Apply(oplus.Apply(u1, u2), oplus.Apply(u1, u2)),
 			}
 		},
-		Unary: op.Unary,
+		Unary:     op.Unary,
+		FlatUnary: op.FlatUnary,
+	}
+	if f := oplus.Elem; f != nil {
+		naive.FlatFn = func(dst, a, b *FlatTuple) {
+			m := a.M()
+			t1, u1 := a.Data[:m], a.Data[m:]
+			t2, u2 := b.Data[:m], b.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				x1, y1, x2, y2 := t1[j], u1[j], t2[j], u2[j]
+				dt[j] = f(f(x1, x2), y1)
+				du[j] = f(f(y1, y2), f(y1, y2))
+			}
+		}
 	}
 	return naive
 }
@@ -180,6 +247,15 @@ type BalancedScanOp struct {
 	// (number of processors not a power of two): they keep their first
 	// component, the rest becomes undetermined.
 	Solo func(own Value) Value
+	// FlatShip/FlatLo/FlatHi, if non-nil, are the allocation-free flat
+	// forms of Ship/Lo/Hi: FlatShip fills a width-ShipWidth dst from a
+	// width-Arity state, FlatLo/FlatHi fill a width-Arity dst (which may
+	// alias own) from the state and the partner's shipped part. There is
+	// no flat Solo — the poisoned components need Undef, which only the
+	// boxed form can hold.
+	FlatShip func(dst, own *FlatTuple)
+	FlatLo   func(dst, own, fromHi *FlatTuple)
+	FlatHi   func(dst, own, fromLo *FlatTuple)
 }
 
 // OpSS builds op_ss of rule SS-Scan, for commutative ⊕ (§3.3):
@@ -192,7 +268,7 @@ type BalancedScanOp struct {
 // elementary operations (Table 1: m·(3tw+8); the higher-ranked side does
 // the eight, the lower-ranked side five).
 func OpSS(oplus *Op) *BalancedScanOp {
-	return &BalancedScanOp{
+	op := &BalancedScanOp{
 		Name:      fmt.Sprintf("op_ss(%s)", oplus.Name),
 		CostLo:    5,
 		CostHi:    8,
@@ -230,6 +306,44 @@ func OpSS(oplus *Op) *BalancedScanOp {
 			return Tuple{s, Undef{}, Undef{}, Undef{}}
 		},
 	}
+	if f := oplus.Elem; f != nil {
+		op.FlatShip = func(dst, own *FlatTuple) {
+			m := own.M()
+			copy(dst.Data, own.Data[m:]) // (t, u, v)
+		}
+		op.FlatLo = func(dst, own, fromHi *FlatTuple) {
+			m := own.M()
+			s1, t1, u1, v1 := own.Data[:m], own.Data[m:2*m], own.Data[2*m:3*m], own.Data[3*m:]
+			t2, u2, v2 := fromHi.Data[:m], fromHi.Data[m:2*m], fromHi.Data[2*m:]
+			ds, dt, du, dv := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:3*m], dst.Data[3*m:]
+			for j := 0; j < m; j++ {
+				S1, T1, U1, V1 := s1[j], t1[j], u1[j], v1[j]
+				T2, U2, V2 := t2[j], u2[j], v2[j]
+				uu := f(U1, U2)
+				ds[j] = S1
+				dt[j] = f(f(T1, T2), U1)
+				du[j] = f(uu, uu)
+				dv[j] = f(V1, V2)
+			}
+		}
+		op.FlatHi = func(dst, own, fromLo *FlatTuple) {
+			m := own.M()
+			s2, t2, u2, v2 := own.Data[:m], own.Data[m:2*m], own.Data[2*m:3*m], own.Data[3*m:]
+			t1, u1, v1 := fromLo.Data[:m], fromLo.Data[m:2*m], fromLo.Data[2*m:]
+			ds, dt, du, dv := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:3*m], dst.Data[3*m:]
+			for j := 0; j < m; j++ {
+				S2, T2, U2, V2 := s2[j], t2[j], u2[j], v2[j]
+				T1, U1, V1 := t1[j], u1[j], v1[j]
+				uu := f(U1, U2)
+				vv := f(V1, V2)
+				ds[j] = f(f(S2, T1), V1)
+				dt[j] = f(f(T1, T2), U1)
+				du[j] = f(uu, uu)
+				dv[j] = f(uu, vv)
+			}
+		}
+	}
+	return op
 }
 
 // RepeatOps is the (e, o) function pair of the comcast rules (§3.4): the
@@ -249,13 +363,16 @@ type RepeatOps struct {
 	Prepare func(b Value) Value
 	// E and O are the even- and odd-digit step functions.
 	E, O func(Value) Value
+	// FlatE and FlatO, if non-nil, are the flat in-place forms of E and
+	// O; dst may alias v.
+	FlatE, FlatO func(dst, v *FlatTuple)
 }
 
 // OpCompBS builds the e/o pair of rule BS-Comcast:
 //
 //	e(t,u) = (t, u ⊕ u)        o(t,u) = (t ⊕ u, u ⊕ u)
 func OpCompBS(oplus *Op) *RepeatOps {
-	return &RepeatOps{
+	r := &RepeatOps{
 		Name:    fmt.Sprintf("op_comp_bs(%s)", oplus.Name),
 		CostE:   1,
 		CostO:   2,
@@ -270,6 +387,29 @@ func OpCompBS(oplus *Op) *RepeatOps {
 			return Tuple{oplus.Apply(t, u), oplus.Apply(u, u)}
 		},
 	}
+	if f := oplus.Elem; f != nil {
+		r.FlatE = func(dst, v *FlatTuple) {
+			m := v.M()
+			t, u := v.Data[:m], v.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				T, U := t[j], u[j]
+				dt[j] = T
+				du[j] = f(U, U)
+			}
+		}
+		r.FlatO = func(dst, v *FlatTuple) {
+			m := v.M()
+			t, u := v.Data[:m], v.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				T, U := t[j], u[j]
+				dt[j] = f(T, U)
+				du[j] = f(U, U)
+			}
+		}
+	}
+	return r
 }
 
 // OpCompBSS2 builds the e/o pair of rule BSS2-Comcast (⊗ distributes
@@ -278,7 +418,7 @@ func OpCompBS(oplus *Op) *RepeatOps {
 //	e(s,t,u) = (s, t ⊕ (t ⊗ u), u ⊗ u)
 //	o(s,t,u) = (t ⊕ (s ⊗ u), t ⊕ (t ⊗ u), u ⊗ u)
 func OpCompBSS2(otimes, oplus *Op) *RepeatOps {
-	return &RepeatOps{
+	r := &RepeatOps{
 		Name:    fmt.Sprintf("op_comp_bss2(%s,%s)", otimes.Name, oplus.Name),
 		CostE:   3,
 		CostO:   5,
@@ -297,6 +437,31 @@ func OpCompBSS2(otimes, oplus *Op) *RepeatOps {
 			}
 		},
 	}
+	if f, g := oplus.Elem, otimes.Elem; f != nil && g != nil {
+		r.FlatE = func(dst, v *FlatTuple) {
+			m := v.M()
+			s, t, u := v.Data[:m], v.Data[m:2*m], v.Data[2*m:]
+			ds, dt, du := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:]
+			for j := 0; j < m; j++ {
+				S, T, U := s[j], t[j], u[j]
+				ds[j] = S
+				dt[j] = f(T, g(T, U))
+				du[j] = g(U, U)
+			}
+		}
+		r.FlatO = func(dst, v *FlatTuple) {
+			m := v.M()
+			s, t, u := v.Data[:m], v.Data[m:2*m], v.Data[2*m:]
+			ds, dt, du := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:]
+			for j := 0; j < m; j++ {
+				S, T, U := s[j], t[j], u[j]
+				ds[j] = f(T, g(S, U))
+				dt[j] = f(T, g(T, U))
+				du[j] = g(U, U)
+			}
+		}
+	}
+	return r
 }
 
 // OpCompBSS builds the e/o pair of rule BSS-Comcast (commutative ⊕):
@@ -304,7 +469,7 @@ func OpCompBSS2(otimes, oplus *Op) *RepeatOps {
 //	e(s,t,u,v) = (s, t ⊕ t ⊕ u, uu ⊕ uu, v ⊕ v)            uu = u ⊕ u
 //	o(s,t,u,v) = (s ⊕ t ⊕ v, t ⊕ t ⊕ u, uu ⊕ uu, uu ⊕ v ⊕ v)
 func OpCompBSS(oplus *Op) *RepeatOps {
-	return &RepeatOps{
+	r := &RepeatOps{
 		Name:    fmt.Sprintf("op_comp_bss(%s)", oplus.Name),
 		CostE:   5,
 		CostO:   8,
@@ -331,6 +496,35 @@ func OpCompBSS(oplus *Op) *RepeatOps {
 			}
 		},
 	}
+	if f := oplus.Elem; f != nil {
+		r.FlatE = func(dst, v *FlatTuple) {
+			m := v.M()
+			s, t, u, w := v.Data[:m], v.Data[m:2*m], v.Data[2*m:3*m], v.Data[3*m:]
+			ds, dt, du, dw := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:3*m], dst.Data[3*m:]
+			for j := 0; j < m; j++ {
+				S, T, U, W := s[j], t[j], u[j], w[j]
+				uu := f(U, U)
+				ds[j] = S
+				dt[j] = f(f(T, T), U)
+				du[j] = f(uu, uu)
+				dw[j] = f(W, W)
+			}
+		}
+		r.FlatO = func(dst, v *FlatTuple) {
+			m := v.M()
+			s, t, u, w := v.Data[:m], v.Data[m:2*m], v.Data[2*m:3*m], v.Data[3*m:]
+			ds, dt, du, dw := dst.Data[:m], dst.Data[m:2*m], dst.Data[2*m:3*m], dst.Data[3*m:]
+			for j := 0; j < m; j++ {
+				S, T, U, W := s[j], t[j], u[j], w[j]
+				uu := f(U, U)
+				ds[j] = f(f(S, T), W)
+				dt[j] = f(f(T, T), U)
+				du[j] = f(uu, uu)
+				dw[j] = f(f(uu, W), W)
+			}
+		}
+	}
+	return r
 }
 
 // Repeat applies the logarithmic-time schema of §3.4 (equation (14)) to
@@ -350,6 +544,24 @@ func (r *RepeatOps) Repeat(k int, b Value) Value {
 		k /= 2
 	}
 	return v
+}
+
+// RepeatInto is the flat in-place form of Repeat: it rewrites w through
+// the digit sequence of k using FlatE/FlatO, allocating nothing. Callers
+// must check FlatE/FlatO are available (they are whenever the base
+// operators carry elementwise kernels).
+func (r *RepeatOps) RepeatInto(k int, w *FlatTuple) {
+	if k < 0 {
+		panic("algebra: Repeat with negative processor number")
+	}
+	for k != 0 {
+		if k%2 == 0 {
+			r.FlatE(w, w)
+		} else {
+			r.FlatO(w, w)
+		}
+		k /= 2
+	}
 }
 
 // RepeatCharge is the computation time charged for Repeat(k, b) on a
@@ -382,6 +594,8 @@ type IterOp struct {
 	Prepare func(b Value) Value
 	// F is one application.
 	F func(Value) Value
+	// FlatF, if non-nil, is the flat in-place form of F; dst may alias v.
+	FlatF func(dst, v *FlatTuple)
 }
 
 // Charge is the computation time of one application of the operator to
@@ -397,20 +611,31 @@ func (o *IterOp) Charge(a Value) float64 {
 // OpBR builds op_br of rule BR-Local: op_br s = s ⊕ s. Iterated log p
 // times it computes the p-fold reduction of the broadcast value.
 func OpBR(oplus *Op) *IterOp {
-	return &IterOp{
+	op := &IterOp{
 		Name:    fmt.Sprintf("op_br(%s)", oplus.Name),
 		Cost:    1,
 		Arity:   1,
 		Prepare: func(b Value) Value { return b },
 		F:       func(s Value) Value { return oplus.Apply(s, s) },
 	}
+	if f := oplus.Elem; f != nil {
+		op.FlatF = func(dst, v *FlatTuple) {
+			s := v.Data
+			d := dst.Data
+			for j := range s {
+				S := s[j]
+				d[j] = f(S, S)
+			}
+		}
+	}
+	return op
 }
 
 // OpBSR2 builds op_bsr2 of rule BSR2-Local (⊗ distributes over ⊕):
 //
 //	op_bsr2(s,t) = (s ⊕ (s ⊗ t), t ⊗ t)
 func OpBSR2(otimes, oplus *Op) *IterOp {
-	return &IterOp{
+	op := &IterOp{
 		Name:    fmt.Sprintf("op_bsr2(%s,%s)", otimes.Name, oplus.Name),
 		Cost:    3,
 		Arity:   2,
@@ -420,13 +645,26 @@ func OpBSR2(otimes, oplus *Op) *IterOp {
 			return Tuple{oplus.Apply(s, otimes.Apply(s, t)), otimes.Apply(t, t)}
 		},
 	}
+	if f, g := oplus.Elem, otimes.Elem; f != nil && g != nil {
+		op.FlatF = func(dst, v *FlatTuple) {
+			m := v.M()
+			s, t := v.Data[:m], v.Data[m:]
+			ds, dt := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				S, T := s[j], t[j]
+				ds[j] = f(S, g(S, T))
+				dt[j] = g(T, T)
+			}
+		}
+	}
+	return op
 }
 
 // OpBSR builds op_bsr of rule BSR-Local (commutative ⊕):
 //
 //	op_bsr(t,u) = (t ⊕ t ⊕ u, uu ⊕ uu)    uu = u ⊕ u
 func OpBSR(oplus *Op) *IterOp {
-	return &IterOp{
+	op := &IterOp{
 		Name:    fmt.Sprintf("op_bsr(%s)", oplus.Name),
 		Cost:    4,
 		Arity:   2,
@@ -440,4 +678,18 @@ func OpBSR(oplus *Op) *IterOp {
 			}
 		},
 	}
+	if f := oplus.Elem; f != nil {
+		op.FlatF = func(dst, v *FlatTuple) {
+			m := v.M()
+			t, u := v.Data[:m], v.Data[m:]
+			dt, du := dst.Data[:m], dst.Data[m:]
+			for j := 0; j < m; j++ {
+				T, U := t[j], u[j]
+				uu := f(U, U)
+				dt[j] = f(f(T, T), U)
+				du[j] = f(uu, uu)
+			}
+		}
+	}
+	return op
 }

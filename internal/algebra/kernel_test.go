@@ -1,0 +1,333 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The kernels are only correct if they are *exactly* the reference
+// semantics in another representation: same elementary operations, same
+// order, bitwise-equal floats. These tests compare every flat/in-place
+// kernel against the boxed reference on random inputs.
+
+func randVec(rng *rand.Rand, m int) Vec {
+	v := make(Vec, m)
+	for i := range v {
+		v[i] = float64(rng.Intn(19)) - 9
+	}
+	return v
+}
+
+func randTuple(rng *rand.Rand, w, m int) Tuple {
+	t := make(Tuple, w)
+	for i := range t {
+		t[i] = randVec(rng, m)
+	}
+	return t
+}
+
+func flatOf(t Tuple) *FlatTuple {
+	w, m, ok := CanFlatten(t)
+	if !ok {
+		panic("flatOf: not flattenable")
+	}
+	return NewFlatTuple(w, m).FlattenInto(t)
+}
+
+var kernelSizes = []int{1, 2, 3, 8, 33}
+
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range []*Op{Add, Mul, Max, Min, Left, Sub} {
+		for _, m := range kernelSizes {
+			a, b := randVec(rng, m), randVec(rng, m)
+			s := Scalar(float64(rng.Intn(9)) - 4)
+			cases := []struct{ x, y Value }{
+				{a, b}, {a, s}, {s, b}, {s, Scalar(3)},
+				{Tuple{a, b}, Tuple{b, a}}, // no kernel: reference fallback
+			}
+			for _, c := range cases {
+				want := op.Apply(c.x, c.y)
+				got := op.ApplyInto(nil, c.x, c.y)
+				if !Equal(got, want) {
+					t.Fatalf("%s.ApplyInto(nil, %s, %s) = %s, want %s", op, c.x, c.y, got, want)
+				}
+				// With a destination of the right shape the result must
+				// land in the destination's storage.
+				if v, ok := want.(Vec); ok {
+					dst := Value(make(Vec, len(v)))
+					got := op.ApplyInto(dst, c.x, c.y)
+					if !Equal(got, want) {
+						t.Fatalf("%s.ApplyInto(dst, %s, %s) = %s, want %s", op, c.x, c.y, got, want)
+					}
+					if &got.(Vec)[0] != &dst.(Vec)[0] {
+						t.Fatalf("%s.ApplyInto did not reuse dst storage", op)
+					}
+				}
+			}
+			// dst aliasing an operand must be safe.
+			aa := a.Clone()
+			want := op.Apply(a, b)
+			got := op.ApplyInto(aa, aa, b)
+			if !Equal(got, want) {
+				t.Fatalf("%s.ApplyInto(a, a, b) = %s, want %s", op, got, want)
+			}
+		}
+	}
+}
+
+func TestFlatKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := []*Op{
+		OpSR2(Mul, Add), OpSR2(Add, Max),
+		OpNew(Add, Mul), OpNew(Max, Min),
+		OpSR(Add), OpSR(Max),
+		OpSRNoSharing(Add),
+	}
+	for _, op := range ops {
+		if op.FlatFn == nil {
+			t.Fatalf("%s: no flat kernel", op)
+		}
+		for _, m := range kernelSizes {
+			a, b := randTuple(rng, op.Arity, m), randTuple(rng, op.Arity, m)
+			want := op.Apply(a, b)
+			got := op.ApplyInto(nil, flatOf(a), flatOf(b))
+			if !Equal(got, want) {
+				t.Fatalf("%s flat kernel: got %s, want %s (m=%d)", op, got, want, m)
+			}
+			// In-place: dst aliasing operand a.
+			fa := flatOf(a)
+			if !Equal(op.ApplyInto(fa, fa, flatOf(b)), want) {
+				t.Fatalf("%s flat kernel in-place mismatch (m=%d)", op, m)
+			}
+			if op.Unary != nil {
+				want := op.ApplyUnary(b)
+				if !Equal(op.ApplyUnaryInto(nil, flatOf(b)), want) {
+					t.Fatalf("%s flat unary mismatch (m=%d)", op, m)
+				}
+				fb := flatOf(b)
+				if !Equal(op.ApplyUnaryInto(fb, fb), want) {
+					t.Fatalf("%s flat unary in-place mismatch (m=%d)", op, m)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatBalancedScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, op := range []*BalancedScanOp{OpSS(Add), OpSS(Max)} {
+		if op.FlatShip == nil || op.FlatLo == nil || op.FlatHi == nil {
+			t.Fatalf("%s: missing flat kernels", op.Name)
+		}
+		for _, m := range kernelSizes {
+			lo, hi := randTuple(rng, op.Arity, m), randTuple(rng, op.Arity, m)
+			flo, fhi := flatOf(lo), flatOf(hi)
+
+			shipLo := NewFlatTuple(op.ShipWidth, m)
+			op.FlatShip(shipLo, flo)
+			if !Equal(shipLo, op.Ship(lo)) {
+				t.Fatalf("%s FlatShip mismatch (m=%d)", op.Name, m)
+			}
+			shipHi := NewFlatTuple(op.ShipWidth, m)
+			op.FlatShip(shipHi, fhi)
+
+			wantLo := op.Lo(lo, op.Ship(hi))
+			wantHi := op.Hi(hi, op.Ship(lo))
+			gotLo := NewFlatTuple(op.Arity, m)
+			op.FlatLo(gotLo, flo, shipHi)
+			if !Equal(gotLo, wantLo) {
+				t.Fatalf("%s FlatLo: got %s, want %s (m=%d)", op.Name, gotLo, wantLo, m)
+			}
+			gotHi := NewFlatTuple(op.Arity, m)
+			op.FlatHi(gotHi, fhi, shipLo)
+			if !Equal(gotHi, wantHi) {
+				t.Fatalf("%s FlatHi: got %s, want %s (m=%d)", op.Name, gotHi, wantHi, m)
+			}
+			// In place, dst aliasing own.
+			op.FlatLo(flo, flo, shipHi)
+			if !Equal(flo, wantLo) {
+				t.Fatalf("%s FlatLo in-place mismatch (m=%d)", op.Name, m)
+			}
+			op.FlatHi(fhi, fhi, shipLo)
+			if !Equal(fhi, wantHi) {
+				t.Fatalf("%s FlatHi in-place mismatch (m=%d)", op.Name, m)
+			}
+		}
+	}
+}
+
+func TestFlatRepeatMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ops := []*RepeatOps{OpCompBS(Add), OpCompBSS2(Mul, Add), OpCompBSS(Add), OpCompBSS(Max)}
+	for _, r := range ops {
+		if r.FlatE == nil || r.FlatO == nil {
+			t.Fatalf("%s: missing flat kernels", r.Name)
+		}
+		for _, m := range kernelSizes {
+			b := randVec(rng, m)
+			for k := 0; k < 20; k++ {
+				want := r.Repeat(k, r.Prepare(b))
+				w := NewFlatTuple(r.Arity, m)
+				for i := 0; i < r.Arity; i++ {
+					copy(w.Comp(i), b)
+				}
+				r.RepeatInto(k, w)
+				if !Equal(w, want) {
+					t.Fatalf("%s RepeatInto(%d): got %s, want %s (m=%d)", r.Name, k, w, want, m)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatIterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []*IterOp{OpBR(Add), OpBSR2(Mul, Add), OpBSR(Add), OpBSR(Max)}
+	for _, op := range ops {
+		if op.FlatF == nil {
+			t.Fatalf("%s: no flat kernel", op.Name)
+		}
+		for _, m := range kernelSizes {
+			b := randVec(rng, m)
+			want := op.Prepare(b)
+			w := NewFlatTuple(op.Arity, m)
+			for i := 0; i < op.Arity; i++ {
+				copy(w.Comp(i), b)
+			}
+			for step := 0; step < 5; step++ {
+				want = op.F(want)
+				op.FlatF(w, w)
+				if !Equal(w, Boxed(want)) {
+					t.Fatalf("%s step %d: got %s, want %s (m=%d)", op.Name, step, w, want, m)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatTupleValueSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tp := randTuple(rng, 2, 4)
+	ft := flatOf(tp)
+	if ft.Words() != tp.Words() {
+		t.Fatalf("flat Words = %d, boxed Words = %d", ft.Words(), tp.Words())
+	}
+	if ft.String() != tp.String() {
+		t.Fatalf("flat String = %q, boxed String = %q", ft.String(), tp.String())
+	}
+	if !Equal(ft, tp) || !Equal(tp, ft) || !EqualModuloUndef(ft, tp) ||
+		!EqualApproxModuloUndef(tp, ft, 0) {
+		t.Fatal("flat tuple does not compare equal to its boxed form")
+	}
+	if IsUndef(ft) {
+		t.Fatal("flat tuple reported undetermined")
+	}
+	if !Equal(First(ft), tp[0]) {
+		t.Fatalf("First(flat) = %s, want %s", First(ft), tp[0])
+	}
+	other := flatOf(randTuple(rng, 2, 4))
+	if Equal(ft, other) {
+		t.Fatal("distinct flat tuples compared equal")
+	}
+	cl := ft.Clone()
+	cl.Data[0]++
+	if ft.Data[0] == cl.Data[0] {
+		t.Fatal("Clone shares the backing array")
+	}
+	if _, _, ok := CanFlatten(Tuple{Scalar(1), Scalar(2)}); ok {
+		t.Fatal("scalar tuple reported flattenable")
+	}
+	if _, _, ok := CanFlatten(Tuple{make(Vec, 2), make(Vec, 3)}); ok {
+		t.Fatal("ragged tuple reported flattenable")
+	}
+	if _, _, ok := CanFlatten(Tuple{make(Vec, 2), Undef{}}); ok {
+		t.Fatal("tuple with Undef reported flattenable")
+	}
+}
+
+func TestArenaReusesBuffers(t *testing.T) {
+	a := NewArena()
+	v1 := a.Vec(8)
+	f1 := a.Flat(2, 8)
+	a.Reset()
+	if v2 := a.Vec(8); &v2.(Vec)[0] != &v1.(Vec)[0] {
+		t.Fatal("arena did not reuse the vec buffer after Reset")
+	}
+	if f2 := a.Flat(2, 8); f2 != f1 {
+		t.Fatal("arena did not reuse the flat buffer after Reset")
+	}
+	// Distinct sizes come from distinct pools.
+	if f3 := a.Flat(4, 4); f3 == f1 {
+		t.Fatal("arena confused flat tuples of equal word count but different width")
+	}
+	// A nil arena degrades to plain allocation.
+	var nilA *Arena
+	if v := nilA.Vec(3); len(v.(Vec)) != 3 {
+		t.Fatal("nil arena Vec broken")
+	}
+	if f := nilA.Flat(2, 3); f.W != 2 || f.M() != 3 {
+		t.Fatal("nil arena Flat broken")
+	}
+	nilA.Reset()
+}
+
+// The zero-allocation invariant of the hot kernels, enforced as a test so
+// a regression fails CI rather than just shifting a benchmark. Skipped
+// under the race detector, whose instrumentation changes allocation
+// behaviour.
+func TestKernelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const m = 256
+	rng := rand.New(rand.NewSource(7))
+	// Pre-boxed: in the collectives the operands already live behind the
+	// Value interface, so the kernels must add no boxing of their own.
+	a, b := Value(randVec(rng, m)), Value(randVec(rng, m))
+	dst := Value(make(Vec, m))
+	check := func(name string, f func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(100, f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+	check("Scalar ApplyFloat", func() { Add.ApplyFloat(2, 3) })
+	check("Vec ApplyInto", func() { dst = Add.ApplyInto(dst, a, b) })
+
+	sr2 := OpSR2(Mul, Add)
+	fa, fb := flatOf(randTuple(rng, 2, m)), flatOf(randTuple(rng, 2, m))
+	fdst := Value(NewFlatTuple(2, m))
+	check("op_sr2 flat ApplyInto", func() { fdst = sr2.ApplyInto(fdst, fa, fb) })
+
+	sr := OpSR(Add)
+	check("op_sr flat ApplyUnaryInto", func() { fdst = sr.ApplyUnaryInto(fdst, fa) })
+
+	ss := OpSS(Add)
+	qa, qb := flatOf(randTuple(rng, 4, m)), flatOf(randTuple(rng, 4, m))
+	ship := NewFlatTuple(3, m)
+	check("op_ss flat Ship+Lo+Hi", func() {
+		ss.FlatShip(ship, qb)
+		ss.FlatLo(qa, qa, ship)
+		ss.FlatHi(qb, qb, ship)
+	})
+
+	bss := OpCompBSS(Add)
+	check("op_comp_bss flat Repeat", func() { bss.RepeatInto(6, qa) })
+
+	bsr := OpBSR(Add)
+	check("op_bsr flat iterate", func() { bsr.FlatF(fa, fa) })
+
+	// Arena steady state: after one warm cycle, a get/reset cycle of the
+	// same shapes touches only the free lists.
+	ar := NewArena()
+	cycle := func() {
+		ar.Vec(m)
+		ar.Vec(m)
+		ar.Flat(2, m)
+		ar.Flat(4, m)
+		ar.Reset()
+	}
+	cycle()
+	check("arena steady-state cycle", cycle)
+}

@@ -28,6 +28,17 @@ type Op struct {
 	// collectives apply at nodes with an empty left subtree (§3.2) or
 	// at processors without a communication partner (§3.3).
 	Unary func(b Value) Value
+	// Elem, if non-nil, is the elementwise scalar function the operator
+	// lifts (base operators only). It is the allocation-free kernel
+	// behind ApplyFloat and the Vec fast paths of ApplyInto.
+	Elem func(x, y float64) float64
+	// FlatFn, if non-nil, combines two flat tuples of width Arity into
+	// dst without allocating. dst may alias a or b: kernels read both
+	// operands at an index before writing it. Results are bitwise
+	// identical to Fn on the boxed form.
+	FlatFn func(dst, a, b *FlatTuple)
+	// FlatUnary, if non-nil, is the flat form of Unary.
+	FlatUnary func(dst, b *FlatTuple)
 }
 
 // Apply combines a and b, propagating undetermined values: if either side
@@ -47,6 +58,109 @@ func (o *Op) ApplyUnary(b Value) Value {
 		panic(fmt.Sprintf("algebra: operator %q has no one-sided case", o.Name))
 	}
 	return o.Unary(b)
+}
+
+// ApplyFloat applies a base operator to two scalars without boxing either
+// operand or the result — the innermost kernel of the hot path. It panics
+// on operators that do not carry an elementwise function.
+func (o *Op) ApplyFloat(x, y float64) float64 {
+	if o.Elem == nil {
+		panic(fmt.Sprintf("algebra: operator %q has no elementwise kernel", o.Name))
+	}
+	return o.Elem(x, y)
+}
+
+// ApplyInto combines a and b like Apply, but writes the result into dst's
+// storage when dst has the right shape, allocating nothing on the fast
+// paths (Vec×Vec, Vec×Scalar, Scalar×Vec with Elem; flat×flat with
+// FlatFn). dst may be nil or of the wrong shape, in which case a fresh
+// result is allocated; dst may alias a or b, because the kernels read
+// both operands at an index before writing it. Operand shapes without a
+// kernel fall back to the reference Apply, so ApplyInto is always exactly
+// Apply up to representation.
+//
+// Callers own the aliasing discipline: dst must not be a buffer another
+// rank may still read (see the arena ownership rules in docs/PERF.md).
+func (o *Op) ApplyInto(dst, a, b Value) Value {
+	switch x := a.(type) {
+	case Vec:
+		switch y := b.(type) {
+		case Vec:
+			if o.Elem != nil && len(x) == len(y) {
+				d, out := vecDst(dst, len(x))
+				f := o.Elem
+				for i := range x {
+					d[i] = f(x[i], y[i])
+				}
+				return out
+			}
+		case Scalar:
+			if o.Elem != nil {
+				d, out := vecDst(dst, len(x))
+				f := o.Elem
+				s := float64(y)
+				for i := range x {
+					d[i] = f(x[i], s)
+				}
+				return out
+			}
+		}
+	case Scalar:
+		switch y := b.(type) {
+		case Scalar:
+			if o.Elem != nil {
+				return Scalar(o.Elem(float64(x), float64(y)))
+			}
+		case Vec:
+			if o.Elem != nil {
+				d, out := vecDst(dst, len(y))
+				f := o.Elem
+				s := float64(x)
+				for i := range y {
+					d[i] = f(s, y[i])
+				}
+				return out
+			}
+		}
+	case *FlatTuple:
+		if y, ok := b.(*FlatTuple); ok && o.FlatFn != nil &&
+			x.W == o.Arity && y.W == x.W && len(y.Data) == len(x.Data) {
+			d := flatDst(dst, x.W, x.M())
+			o.FlatFn(d, x, y)
+			return d
+		}
+	}
+	return o.Apply(Boxed(a), Boxed(b))
+}
+
+// ApplyUnaryInto is the destination-passing form of ApplyUnary, with the
+// same fast-path and fallback contract as ApplyInto.
+func (o *Op) ApplyUnaryInto(dst, b Value) Value {
+	if x, ok := b.(*FlatTuple); ok && o.FlatUnary != nil && x.W == o.Arity {
+		d := flatDst(dst, x.W, x.M())
+		o.FlatUnary(d, x)
+		return d
+	}
+	return o.ApplyUnary(Boxed(b))
+}
+
+// vecDst resolves the destination of a Vec kernel: dst's own storage when
+// it is a Vec of the right length (returning dst's existing interface
+// value, so the fast path boxes nothing), a fresh Vec otherwise.
+func vecDst(dst Value, n int) (Vec, Value) {
+	if d, ok := dst.(Vec); ok && len(d) == n {
+		return d, dst
+	}
+	d := make(Vec, n)
+	return d, d
+}
+
+// flatDst resolves the destination of a flat kernel analogously.
+func flatDst(dst Value, w, m int) *FlatTuple {
+	if d, ok := dst.(*FlatTuple); ok && d.W == w && len(d.Data) == w*m {
+		return d
+	}
+	return NewFlatTuple(w, m)
 }
 
 // Charge is the computation time, in the paper's unit-cost model, of one
@@ -122,7 +236,7 @@ func lift(name string, f func(x, y float64) float64) func(a, b Value) Value {
 
 // NewBase constructs a base binary operator applying f elementwise.
 func NewBase(name string, f func(x, y float64) float64) *Op {
-	return &Op{Name: name, Cost: 1, Arity: 1, Fn: lift(name, f)}
+	return &Op{Name: name, Cost: 1, Arity: 1, Fn: lift(name, f), Elem: f}
 }
 
 // The standard base operators of the paper's examples. Add and Mul are the

@@ -96,7 +96,7 @@ func (Undef) Words() int { return 0 }
 func (Undef) String() string { return "_" }
 
 // IsUndef reports whether v is the undetermined value, or a tuple any of
-// whose components is undetermined.
+// whose components is undetermined. A FlatTuple is never undetermined.
 func IsUndef(v Value) bool {
 	switch x := v.(type) {
 	case Undef:
@@ -126,14 +126,20 @@ func Quadruple(a Value) Value { return Tuple{a, a, a, a} }
 // π₁, equation (12)). Applied to a non-tuple it is the identity, mirroring
 // the paper's overloading of π₁ over tuples of any width.
 func First(a Value) Value {
+	if ft, ok := a.(*FlatTuple); ok {
+		return ft.Comp(0)
+	}
 	if t, ok := a.(Tuple); ok && len(t) > 0 {
 		return t[0]
 	}
 	return a
 }
 
-// Equal reports deep equality of two values. Undef equals only Undef.
+// Equal reports deep equality of two values. Undef equals only Undef. A
+// FlatTuple equals the boxed Tuple it represents: the two are the same
+// value in different representations.
 func Equal(a, b Value) bool {
+	a, b = Boxed(a), Boxed(b)
 	switch x := a.(type) {
 	case Undef:
 		_, ok := b.(Undef)
@@ -175,6 +181,7 @@ func Equal(a, b Value) bool {
 // determined parts of their results, so rule verification compares with
 // this relaxed equality.
 func EqualModuloUndef(a, b Value) bool {
+	a, b = Boxed(a), Boxed(b)
 	if IsUndef(a) || IsUndef(b) {
 		if ta, ok := a.(Tuple); ok {
 			if tb, ok := b.(Tuple); ok && len(ta) == len(tb) {
@@ -202,6 +209,7 @@ func EqualModuloUndef(a, b Value) bool {
 // algebraic equality is exact, and verification over random inputs must
 // not report such rounding as a semantic difference.
 func EqualApproxModuloUndef(a, b Value, relTol float64) bool {
+	a, b = Boxed(a), Boxed(b)
 	if IsUndef(a) || IsUndef(b) {
 		if ta, ok := a.(Tuple); ok {
 			if tb, ok := b.(Tuple); ok && len(ta) == len(tb) {

@@ -184,10 +184,10 @@ var sink algebra.Value
 
 // Measure runs every probe of the configuration on the native backend
 // and returns the samples, ready for FitSamples. The compute probe only
-// runs at block sizes of 64 words and up: below that the per-Apply
-// overhead (allocation, dispatch) dominates the per-word cost and would
-// contaminate the fitted unit — in the collectives that overhead is a
-// per-message effect and lands in TsNs, where it belongs.
+// runs at block sizes of 64 words and up: below that the per-ApplyInto
+// dispatch overhead dominates the per-word cost and would contaminate
+// the fitted unit — in the collectives that overhead is a per-message
+// effect and lands in TsNs, where it belongs.
 func Measure(cfg Config) []Sample {
 	workers := runtime.GOMAXPROCS(0)
 	var out []Sample
@@ -265,10 +265,14 @@ func compute(m int, cfg Config, workers int) Sample {
 	rounds := cfg.Rounds * max(16, 4096/m)
 	rng := rand.New(rand.NewSource(2))
 	v0, w := vec(rng, m), vec(rng, m)
+	acc := make(algebra.Vec, m)
 	ns := minRun(1, cfg.Reps, func(pr *backend.Proc) {
-		v := algebra.Value(v0)
+		copy(acc, v0)
+		// The in-place kernel, not the boxed reference: the unit must
+		// price the path the collectives actually run.
+		v := algebra.Value(acc)
 		for i := 0; i < rounds; i++ {
-			v = algebra.Add.Apply(v, w)
+			v = algebra.Add.ApplyInto(v, v, w)
 		}
 		sink = v
 	})

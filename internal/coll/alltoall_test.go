@@ -1,7 +1,6 @@
 package coll
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/algebra"
@@ -9,7 +8,6 @@ import (
 )
 
 func TestAllToAllAllSizes(t *testing.T) {
-	rng := rand.New(rand.NewSource(91))
 	for _, n := range testSizes {
 		// Processor i sends the value 100·i + j to processor j.
 		m := machine.New(n, machine.Params{Ts: 3, Tw: 1})
@@ -30,7 +28,6 @@ func TestAllToAllAllSizes(t *testing.T) {
 				}
 			}
 		}
-		_ = rng
 	}
 }
 

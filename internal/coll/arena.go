@@ -1,0 +1,78 @@
+package coll
+
+import "repro/internal/algebra"
+
+// ArenaHolder is optionally implemented by communicators whose backend
+// provides a per-rank scratch arena (the native backend does; see
+// backend.Proc.ScratchArena). The collectives draw each combining round's
+// destination buffer from it, so in steady state the log-p rounds
+// allocate nothing. Communicators without one run the same code with a
+// nil arena, which simply allocates fresh buffers — the representation
+// decisions (flatten or not, kernel or reference) never depend on the
+// arena, so both backends compute bitwise-identical values.
+type ArenaHolder interface {
+	// ScratchArena returns the caller's per-rank arena. The backend owns
+	// the Reset discipline: it must only reclaim buffers at a point where
+	// no peer can still read them (run start, after the previous run's
+	// completion barrier).
+	ScratchArena() *algebra.Arena
+}
+
+// arenaOf extracts the communicator's arena, or nil.
+func arenaOf(c Comm) *algebra.Arena {
+	if h, ok := c.(ArenaHolder); ok {
+		return h.ScratchArena()
+	}
+	return nil
+}
+
+// toWork converts a collective's input into the working representation
+// for operator op: a Tuple of equal-length Vec components flattens into
+// one arena-backed buffer (a copy — the caller's input stays read-only)
+// the flat kernels combine without boxing. The returned flag reports
+// whether the value is scratch this rank owns, i.e. whether an in-place
+// combine may target it. Values the kernels cannot handle pass through
+// unchanged, keeping the reference semantics.
+func toWork(ar *algebra.Arena, op *algebra.Op, x Value) (Value, bool) {
+	if op.FlatFn == nil {
+		return x, false
+	}
+	t, ok := x.(algebra.Tuple)
+	if !ok || len(t) != op.Arity {
+		return x, false
+	}
+	w, m, ok := algebra.CanFlatten(t)
+	if !ok {
+		return x, false
+	}
+	return ar.Flat(w, m).FlattenInto(t), true
+}
+
+// fromWork converts a working value back to the caller-facing boxed form
+// at the collective's return boundary. The boxed components are views
+// into the working buffer, not copies; they stay valid until the backing
+// machine's next run (see the ownership rules in docs/PERF.md).
+func fromWork(v Value) Value { return algebra.Boxed(v) }
+
+// scratchLike returns an arena destination shaped like proto, or nil for
+// shapes the kernels do not handle (ApplyInto then falls back to the
+// allocating reference path, exactly as before this optimization).
+func scratchLike(ar *algebra.Arena, proto Value) Value {
+	switch v := proto.(type) {
+	case algebra.Vec:
+		return ar.Vec(len(v))
+	case *algebra.FlatTuple:
+		return ar.Flat(v.W, v.M())
+	}
+	return nil
+}
+
+// dstFor picks the destination for combining into cur: cur itself when it
+// is scratch this rank owns (and has not been shipped), a fresh arena
+// buffer shaped like proto otherwise.
+func dstFor(ar *algebra.Arena, cur Value, owned bool, proto Value) Value {
+	if owned {
+		return cur
+	}
+	return scratchLike(ar, proto)
+}

@@ -19,9 +19,11 @@ import (
 func ReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
 	tag := c.NextTag()
 	n := c.Size()
-	v := reduceBalNode(c, op, 0, n, log2Ceil(n), x, tag)
+	ar := arenaOf(c)
+	w, owned := toWork(ar, op, x)
+	v, _ := reduceBalNode(c, ar, op, 0, n, log2Ceil(n), w, owned, tag)
 	if c.Rank() == 0 {
-		return v
+		return fromWork(v)
 	}
 	return x
 }
@@ -29,10 +31,14 @@ func ReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
 // reduceBalNode executes the subtree over ranks [lo,hi) at height h.
 // Every rank in the span participates; the subtree's value is returned on
 // the representative (the lowest rank, lo) and is unspecified on the
-// others.
-func reduceBalNode(c Comm, op *algebra.Op, lo, hi, h int, v Value, tag int) Value {
+// others. The owned flag tracks whether v is scratch this rank may
+// combine into in place: a representative combines in place once its
+// accumulator is owned, and a rank that ships its value marks it frozen
+// (a rank sends at most once and never combines afterwards, so this is
+// belt and braces).
+func reduceBalNode(c Comm, ar *algebra.Arena, op *algebra.Op, lo, hi, h int, v Value, owned bool, tag int) (Value, bool) {
 	if h == 0 {
-		return v
+		return v, owned
 	}
 	n := hi - lo
 	half := 1 << (h - 1)
@@ -40,28 +46,31 @@ func reduceBalNode(c Comm, op *algebra.Op, lo, hi, h int, v Value, tag int) Valu
 		// Empty left subtree: the node passes the (complete or
 		// recursively built) right subtree's value through the
 		// one-sided case.
-		v = reduceBalNode(c, op, lo, hi, h-1, v, tag)
+		v, owned = reduceBalNode(c, ar, op, lo, hi, h-1, v, owned, tag)
 		if c.Rank() == lo {
-			v = op.ApplyUnary(v)
+			v = op.ApplyUnaryInto(dstFor(ar, v, owned, v), v)
+			owned = true
 			c.Compute(op.Charge(v))
 		}
-		return v
+		return v, owned
 	}
 	mid := hi - half // right subtree covers [mid, hi) and is complete
 	if c.Rank() < mid {
-		v = reduceBalNode(c, op, lo, mid, h-1, v, tag)
+		v, owned = reduceBalNode(c, ar, op, lo, mid, h-1, v, owned, tag)
 		if c.Rank() == lo {
 			right := recvValue(c, mid, tag)
-			v = op.Apply(v, right)
+			v = op.ApplyInto(dstFor(ar, v, owned, right), v, right)
+			owned = true
 			c.Compute(op.Charge(v))
 		}
 	} else {
-		v = reduceBalNode(c, op, mid, hi, h-1, v, tag)
+		v, owned = reduceBalNode(c, ar, op, mid, hi, h-1, v, owned, tag)
 		if c.Rank() == mid {
 			c.Send(lo, v, tag)
+			owned = false
 		}
 	}
-	return v
+	return v, owned
 }
 
 // AllReduceBalanced extends the balanced reduction to all members. On a
@@ -78,18 +87,21 @@ func AllReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
 		return Bcast(c, 0, v)
 	}
 	tag := c.NextTag()
-	v := x
+	ar := arenaOf(c)
+	v, _ := toWork(ar, op, x)
 	for k := 0; k < log2Ceil(n); k++ {
 		partner := c.Rank() ^ (1 << k)
 		recv := c.Exchange(partner, v, tag)
+		// v was just shipped and is frozen; combine into fresh scratch.
+		d := scratchLike(ar, recv)
 		if partner < c.Rank() {
-			v = op.Apply(recv, v)
+			v = op.ApplyInto(d, recv, v)
 		} else {
-			v = op.Apply(v, recv)
+			v = op.ApplyInto(d, v, recv)
 		}
 		c.Compute(op.Charge(v))
 	}
-	return v
+	return fromWork(v)
 }
 
 // ScanBalanced runs the balanced scan of §3.3 (Figure 5) with a
@@ -102,23 +114,64 @@ func AllReduceBalanced(c Comm, op *algebra.Op, x Value) Value {
 func ScanBalanced(c Comm, op *algebra.BalancedScanOp, x Value) Value {
 	tag := c.NextTag()
 	n := c.Size()
+	ar := arenaOf(c)
+	// Flatten the working state when the operator has flat kernels: each
+	// phase then ships a fresh flat projection and rewrites the state in
+	// place, allocating nothing in steady state. Phases whose partner is
+	// missing (Solo) poison components with Undef, which only the boxed
+	// form can hold — the state switches back to boxed there and the
+	// remaining phases run the reference path.
 	v := x
+	if op.FlatShip != nil && op.FlatLo != nil && op.FlatHi != nil {
+		if t, ok := x.(algebra.Tuple); ok && len(t) == op.Arity {
+			if w, bm, can := algebra.CanFlatten(t); can {
+				v = ar.Flat(w, bm).FlattenInto(t)
+			}
+		}
+	}
 	m := float64(x.Words()) / float64(op.Arity)
 	for k := 0; k < log2Ceil(n); k++ {
 		partner := c.Rank() ^ (1 << k)
 		if partner >= n {
-			v = op.Solo(v)
+			v = op.Solo(algebra.Boxed(v))
+			continue
+		}
+		if ft, ok := v.(*algebra.FlatTuple); ok {
+			ship := ar.Flat(op.ShipWidth, ft.M())
+			op.FlatShip(ship, ft)
+			recv := c.Exchange(partner, ship, tag)
+			if rf, flat := recv.(*algebra.FlatTuple); flat && rf.W == op.ShipWidth && rf.M() == ft.M() {
+				// The state was never shipped (only its projection was),
+				// so the node operation may rewrite it in place.
+				if partner > c.Rank() {
+					op.FlatLo(ft, ft, rf)
+					c.Compute(float64(op.CostLo) * m)
+				} else {
+					op.FlatHi(ft, ft, rf)
+					c.Compute(float64(op.CostHi) * m)
+				}
+				continue
+			}
+			// The partner shipped a boxed projection (it was poisoned by
+			// an earlier Solo phase): fall back to the reference path.
+			if partner > c.Rank() {
+				v = op.Lo(algebra.Boxed(ft), algebra.Boxed(recv))
+				c.Compute(float64(op.CostLo) * m)
+			} else {
+				v = op.Hi(algebra.Boxed(ft), algebra.Boxed(recv))
+				c.Compute(float64(op.CostHi) * m)
+			}
 			continue
 		}
 		ship := op.Ship(v)
 		recv := c.Exchange(partner, ship, tag)
 		if partner > c.Rank() {
-			v = op.Lo(v, recv)
+			v = op.Lo(v, algebra.Boxed(recv))
 			c.Compute(float64(op.CostLo) * m)
 		} else {
-			v = op.Hi(v, recv)
+			v = op.Hi(v, algebra.Boxed(recv))
 			c.Compute(float64(op.CostHi) * m)
 		}
 	}
-	return v
+	return fromWork(v)
 }

@@ -98,27 +98,32 @@ func Reduce(c Comm, root int, op *algebra.Op, x Value) Value {
 	if n == 1 {
 		return x
 	}
+	ar := arenaOf(c)
 	vr := (c.Rank() - root + n) % n
-	v := x
+	v, owned := toWork(ar, op, x)
 	done := false
 	for k := 0; k < log2Ceil(n) && !done; k++ {
 		bit := 1 << k
 		if vr&bit != 0 {
 			// Send the accumulated value (covering [vr, vr+bit) in
-			// virtual-rank order) to the parent and drop out.
+			// virtual-rank order) to the parent and drop out. The rank
+			// never combines after sending, so shipping its scratch
+			// buffer (frozen from here on) is safe.
 			dst := (vr - bit + root) % n
 			c.Send(dst, v, tag)
 			done = true
 		} else if vr+bit < n {
 			src := (vr + bit + root) % n
 			r := recvValue(c, src, tag)
-			// Own value covers lower virtual ranks: combine own ⊕ recv.
-			v = op.Apply(v, r)
+			// Own value covers lower virtual ranks: combine own ⊕ recv,
+			// in place once the accumulator is owned scratch.
+			v = op.ApplyInto(dstFor(ar, v, owned, r), v, r)
+			owned = true
 			c.Compute(op.Charge(v))
 		}
 	}
 	if vr == 0 {
-		return v
+		return fromWork(v)
 	}
 	return x
 }
@@ -137,10 +142,11 @@ func AllReduce(c Comm, op *algebra.Op, x Value) Value {
 	if n == 1 {
 		return x
 	}
+	ar := arenaOf(c)
 	rank := c.Rank()
 	q := 1 << log2Floor(n)
 	r := n - q
-	v := x
+	v, owned := toWork(ar, op, x)
 	// Fold: pairs (2i, 2i+1) for i < r combine into leader 2i.
 	isLeader := true
 	leaderIdx := rank // index within the q leaders
@@ -150,7 +156,7 @@ func AllReduce(c Comm, op *algebra.Op, x Value) Value {
 			isLeader = false
 		} else {
 			hi := recvValue(c, rank+1, tag)
-			v = op.Apply(v, hi)
+			v = op.ApplyInto(dstFor(ar, v, owned, hi), v, hi)
 			c.Compute(op.Charge(v))
 			leaderIdx = rank / 2
 		}
@@ -168,19 +174,23 @@ func AllReduce(c Comm, op *algebra.Op, x Value) Value {
 			partnerIdx := leaderIdx ^ (1 << k)
 			partner := leaderRank(partnerIdx)
 			recv := c.Exchange(partner, v, tag)
+			// v was just shipped — the partner may still be reading it —
+			// so every butterfly round combines into a fresh arena
+			// buffer rather than in place.
+			d := scratchLike(ar, recv)
 			if partnerIdx < leaderIdx {
-				v = op.Apply(recv, v)
+				v = op.ApplyInto(d, recv, v)
 			} else {
-				v = op.Apply(v, recv)
+				v = op.ApplyInto(d, v, recv)
 			}
 			c.Compute(op.Charge(v))
 		}
 		if rank < 2*r {
 			c.Send(rank+1, v, tag)
 		}
-		return v
+		return fromWork(v)
 	}
-	return recvValue(c, rank-1, tag)
+	return fromWork(recvValue(c, rank-1, tag))
 }
 
 // Scan computes the inclusive parallel prefix with the associative
@@ -203,7 +213,8 @@ func Scan(c Comm, op *algebra.Op, x Value) Value {
 	// carries the pair's segment; the leader's own inclusive prefix then
 	// equals the pair's, and the folded partner needs the leader's
 	// exclusive prefix afterwards.
-	v := x
+	ar := arenaOf(c)
+	v, _ := toWork(ar, op, x)
 	isLeader := true
 	leaderIdx := rank
 	if rank < 2*r {
@@ -212,7 +223,7 @@ func Scan(c Comm, op *algebra.Op, x Value) Value {
 			isLeader = false
 		} else {
 			lo := recvValue(c, rank-1, tag)
-			v = op.Apply(lo, v)
+			v = op.ApplyInto(scratchLike(ar, lo), lo, v)
 			c.Compute(op.Charge(v))
 			leaderIdx = rank / 2
 		}
@@ -232,20 +243,30 @@ func Scan(c Comm, op *algebra.Op, x Value) Value {
 		if algebra.IsUndef(ex) {
 			return x
 		}
-		res := op.Apply(ex, x)
+		res := op.ApplyInto(scratchLike(ar, ex), ex, v)
 		c.Compute(op.Charge(res))
-		return res
+		return fromWork(res)
 	}
+	// prefix, total and excl all start out aliasing (or holding) buffers
+	// this rank does not own for writing: total is shipped every round
+	// and prefix/excl initially share its storage or hold a partner's
+	// buffer. Each accumulator therefore combines into a fresh arena
+	// destination the first time and in place from then on — prefix and
+	// excl are never shipped mid-run, so once they own private scratch
+	// the in-place combine is safe.
 	prefix := v // inclusive prefix over the leader's segment block
+	prefOwned := false
 	total := v
 	var excl Value // exclusive prefix; nil means empty
+	exclOwned := false
 	for k := 0; k < log2Floor(q); k++ {
 		partnerIdx := leaderIdx ^ (1 << k)
 		partner := leaderRank(partnerIdx)
 		recvTotal := c.Exchange(partner, total, tag)
 		if partnerIdx < leaderIdx {
 			// The partner's block precedes ours in index order.
-			prefix = op.Apply(recvTotal, prefix)
+			prefix = op.ApplyInto(dstFor(ar, prefix, prefOwned, recvTotal), recvTotal, prefix)
+			prefOwned = true
 			c.Compute(op.Charge(prefix))
 			// Exclusive-prefix upkeep is only needed by leaders of
 			// folded pairs; it is an extra combine beyond the paper's
@@ -254,13 +275,14 @@ func Scan(c Comm, op *algebra.Op, x Value) Value {
 				if excl == nil {
 					excl = recvTotal
 				} else {
-					excl = op.Apply(recvTotal, excl)
+					excl = op.ApplyInto(dstFor(ar, excl, exclOwned, recvTotal), recvTotal, excl)
+					exclOwned = true
 					c.Compute(op.Charge(excl))
 				}
 			}
-			total = op.Apply(recvTotal, total)
+			total = op.ApplyInto(scratchLike(ar, recvTotal), recvTotal, total)
 		} else {
-			total = op.Apply(total, recvTotal)
+			total = op.ApplyInto(scratchLike(ar, recvTotal), total, recvTotal)
 		}
 		c.Compute(op.Charge(total))
 	}
@@ -271,5 +293,5 @@ func Scan(c Comm, op *algebra.Op, x Value) Value {
 			c.Send(rank-1, excl, tag)
 		}
 	}
-	return prefix
+	return fromWork(prefix)
 }

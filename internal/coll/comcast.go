@@ -15,9 +15,19 @@ import (
 func BcastRepeat(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
 	v := Bcast(c, root, b)
 	m := v.Words()
-	w := ops.Prepare(v)
 	k := (c.Rank() - root + c.Size()) % c.Size()
-	w = ops.Repeat(k, w)
+	if vec, ok := v.(algebra.Vec); ok && ops.FlatE != nil && ops.FlatO != nil && len(vec) > 0 {
+		// Flat repeat: duplicate the broadcast block into one flat
+		// working tuple and iterate the digit steps in place.
+		w := arenaOf(c).Flat(ops.Arity, len(vec))
+		for i := 0; i < ops.Arity; i++ {
+			copy(w.Comp(i), vec)
+		}
+		ops.RepeatInto(k, w)
+		c.Compute(ops.RepeatCharge(k, m))
+		return algebra.First(w)
+	}
+	w := ops.Repeat(k, ops.Prepare(v))
 	c.Compute(ops.RepeatCharge(k, m))
 	return algebra.First(w)
 }
@@ -33,11 +43,23 @@ func BcastRepeat(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
 func Comcast(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
 	tag := c.NextTag()
 	n := c.Size()
+	ar := arenaOf(c)
 	vrank := (c.Rank() - root + n) % n
 	m := b.Words()
+	useFlat := ops.FlatE != nil && ops.FlatO != nil
 	var w Value
+	owned := false
 	if vrank == 0 {
-		w = ops.Prepare(b)
+		if vec, ok := b.(algebra.Vec); ok && useFlat && len(vec) > 0 {
+			f := ar.Flat(ops.Arity, len(vec))
+			for i := 0; i < ops.Arity; i++ {
+				copy(f.Comp(i), vec)
+			}
+			w = f
+			owned = true
+		} else {
+			w = ops.Prepare(b)
+		}
 	}
 	for k := 0; k < log2Ceil(n); k++ {
 		bit := 1 << k
@@ -46,16 +68,39 @@ func Comcast(c Comm, root int, ops *algebra.RepeatOps, b Value) Value {
 			// This member holds g^vrank; spawn g^(vrank+2^k) at the
 			// doubled partner, then advance the own state with e.
 			if vrank+bit < n {
-				spawned := ops.O(w)
+				var spawned Value
+				if ft, ok := w.(*algebra.FlatTuple); ok {
+					// The spawned state escapes into a message: it gets
+					// its own buffer, frozen once sent.
+					d := ar.Flat(ft.W, ft.M())
+					ops.FlatO(d, ft)
+					spawned = d
+				} else {
+					spawned = ops.O(w)
+				}
 				c.Compute(float64(ops.CostO) * float64(m))
 				dst := (vrank + bit + root) % n
 				c.Send(dst, spawned, tag)
 			}
-			w = ops.E(w)
+			if ft, ok := w.(*algebra.FlatTuple); ok {
+				// A state received from the doubling source is frozen;
+				// the first e-step after a receive moves to fresh
+				// scratch, later steps rewrite it in place.
+				d := ft
+				if !owned {
+					d = ar.Flat(ft.W, ft.M())
+				}
+				ops.FlatE(d, ft)
+				w = d
+				owned = true
+			} else {
+				w = ops.E(w)
+			}
 			c.Compute(float64(ops.CostE) * float64(m))
 		case vrank < bit<<1:
 			src := (vrank - bit + root) % n
 			w = recvValue(c, src, tag)
+			owned = false
 		}
 	}
 	return algebra.First(w)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/algebra"
 	"repro/internal/machine"
 )
 
@@ -136,6 +137,15 @@ func (s *sub) Mark(label string) {
 	if m, ok := s.parent.(Marker); ok {
 		m.Mark(label)
 	}
+}
+
+// ScratchArena exposes the parent's per-rank arena, if it provides one
+// (subgroup collectives share the rank's arena with full-group ones).
+func (s *sub) ScratchArena() *algebra.Arena {
+	if h, ok := s.parent.(ArenaHolder); ok {
+		return h.ScratchArena()
+	}
+	return nil
 }
 
 func (s *sub) NextTag() int {

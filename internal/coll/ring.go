@@ -49,10 +49,11 @@ func ReduceScatter(c Comm, op *algebra.Op, x Value) Value {
 		}
 		return v[off : off+sz]
 	}
-	// acc[i] accumulates chunk i; start with the own block's chunks.
-	acc := make([]algebra.Vec, n)
+	// acc[i] accumulates chunk i; start with copies of the own block's
+	// chunks (pre-boxed, so the in-place combines below box nothing).
+	acc := make([]Value, n)
 	for i := 0; i < n; i++ {
-		acc[i] = append(algebra.Vec(nil), chunk(vec, i)...)
+		acc[i] = Value(append(algebra.Vec(nil), chunk(vec, i)...))
 	}
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
@@ -70,10 +71,12 @@ func ReduceScatter(c Comm, op *algebra.Op, x Value) Value {
 		// Send before receiving: the machine's sends are buffered, so
 		// the ring cannot deadlock on this order.
 		c.Send(next, sendChunk, tag)
-		incoming := recvValue(c, prev, tag).(algebra.Vec)
-		combined := op.Apply(incoming, algebra.Vec(acc[recvIdx]))
+		incoming := recvValue(c, prev, tag)
+		// acc[recvIdx] is not sent until the next step, so the combine
+		// may accumulate into it in place.
+		combined := op.ApplyInto(acc[recvIdx], incoming, acc[recvIdx])
 		c.Compute(op.Charge(combined))
-		acc[recvIdx] = combined.(algebra.Vec)
+		acc[recvIdx] = combined
 	}
 	return acc[rank]
 }

@@ -205,8 +205,12 @@ func ReduceLinear(c Comm, root int, op *algebra.Op, x Value) Value {
 		c.Send(root, x, tag)
 		return x
 	}
-	// Combine in rank order for non-commutative operators.
+	// Combine in rank order for non-commutative operators; the
+	// accumulator moves to owned scratch on the first combine and stays
+	// in place from then on.
+	ar := arenaOf(c)
 	var acc Value
+	owned := false
 	for r := 0; r < n; r++ {
 		var v Value
 		if r == root {
@@ -217,11 +221,12 @@ func ReduceLinear(c Comm, root int, op *algebra.Op, x Value) Value {
 		if acc == nil {
 			acc = v
 		} else {
-			acc = op.Apply(acc, v)
+			acc = op.ApplyInto(dstFor(ar, acc, owned, v), acc, v)
+			owned = true
 			c.Compute(op.Charge(acc))
 		}
 	}
-	return acc
+	return fromWork(acc)
 }
 
 // ScanLinear is the ring-pipelined prefix: member i waits for member
@@ -232,14 +237,16 @@ func ScanLinear(c Comm, op *algebra.Op, x Value) Value {
 	tag := c.NextTag()
 	n := c.Size()
 	rank := c.Rank()
-	v := x
+	ar := arenaOf(c)
+	v, _ := toWork(ar, op, x)
 	if rank > 0 {
 		prev := recvValue(c, rank-1, tag)
-		v = op.Apply(prev, x)
+		// v is about to be shipped downstream; combine into fresh scratch.
+		v = op.ApplyInto(scratchLike(ar, prev), prev, v)
 		c.Compute(op.Charge(v))
 	}
 	if rank < n-1 {
 		c.Send(rank+1, v, tag)
 	}
-	return v
+	return fromWork(v)
 }

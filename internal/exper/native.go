@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/algebra"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/rules"
@@ -35,15 +36,18 @@ var RunVirtual Runner = measure
 // barrier-synchronized start, lets every rank record its own elapsed
 // wall time, and reports the makespan — the finish time of the last
 // rank — as the run's cost, mirroring how the §4.1 model prices the
-// slowest processor.
+// slowest processor. All reps share one backend machine, so its cached
+// mailboxes and scratch arenas warm up on the first rep and the minimum
+// reflects the allocation-free steady state.
 func NativeRunner(reps int) Runner {
 	if reps < 1 {
 		reps = 1
 	}
 	return func(prog core.Program, mach core.Machine, in []algebra.Value) float64 {
+		nm := backend.New(mach.P)
 		best := math.MaxFloat64
 		for i := 0; i < reps; i++ {
-			_, res := prog.RunNative(mach.P, in)
+			_, res := prog.RunOn(nm, in)
 			if ns := float64(res.Makespan.Nanoseconds()); ns < best {
 				best = ns
 			}

@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof profiles into the CLIs:
+// collbench and collopt take -cpuprofile/-memprofile flags and hand the
+// paths here. The profiles are the intended companions of the native
+// backend's wall-clock numbers — `go tool pprof` over a collbench run
+// shows where the hot path actually spends its time and, via the heap
+// profile, whether the zero-allocation kernels are really being hit.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to skip that profile. It returns a
+// stop function that must run before the process exits — it finishes the
+// CPU profile and takes the heap snapshot (after a GC, so the snapshot
+// shows live retention rather than garbage awaiting collection).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
