@@ -43,6 +43,7 @@ package backend
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,8 +72,26 @@ type Machine struct {
 	// goroutine scheduling already does. Zero (the default) measures the
 	// host's bare channel cost.
 	Startup time.Duration
+	// MailboxCap overrides the buffer depth per directed rank pair. Zero
+	// means the default (4), which is enough for every collective in
+	// package coll; fault-injecting decorators that put retransmissions
+	// and acknowledgements on the same links want more headroom.
+	MailboxCap int
+	// Watchdog, when non-zero, arms the deadlock watchdog: a monitor
+	// that fires when every unfinished rank has been blocked in the same
+	// send or receive for at least this long — a quiesced-but-unfinished
+	// run. Instead of hanging until Timeout (or forever), the run is
+	// aborted with a per-rank blocked-on report naming each rank's peer,
+	// tag, direction and wait duration. The watchdog costs two atomic
+	// stores per blocking operation, so it is off by default.
+	Watchdog time.Duration
 
 	procs []*Proc
+	// abort is closed by the watchdog to cancel every blocked rank;
+	// wdReport carries its report to Run. Both are per-run state.
+	abort    chan struct{}
+	wdReport string
+	wdWG     sync.WaitGroup
 }
 
 // New creates a native machine with p ranks and the default timeout.
@@ -90,10 +109,30 @@ type packet struct {
 	tag   int
 }
 
-// mailboxCap is the buffer depth per directed rank pair. As on the virtual
-// machine, the collectives never have more than a couple of outstanding
-// messages per pair.
+// mailboxCap is the default buffer depth per directed rank pair. As on the
+// virtual machine, the collectives never have more than a couple of
+// outstanding messages per pair.
 const mailboxCap = 4
+
+func (m *Machine) mailboxCap() int {
+	if m.MailboxCap > 0 {
+		return m.MailboxCap
+	}
+	return mailboxCap
+}
+
+// waitInfo is one rank's published blocking state, read by the watchdog.
+// A waitInfo is immutable once published; a rank publishes a fresh one on
+// every blocking slow path and clears the pointer when it unblocks.
+type waitInfo struct {
+	// dir is the blocked direction: "receiving from", "sending to" or
+	// "deadlocked in exchange with".
+	dir string
+	// peer and tag identify the transfer being waited on.
+	peer, tag int
+	// since is when the rank started waiting.
+	since time.Time
+}
 
 // StageMark is one stage-boundary annotation on a rank's wall-clock
 // timeline, recorded by Mark (the generic executor marks every program
@@ -133,6 +172,11 @@ type Proc struct {
 	ops         float64
 	tagseq      int
 	marks       []StageMark
+	// wait is the rank's published blocking state (nil while running);
+	// finished flips when the rank's body returns. Both are read by the
+	// deadlock watchdog and only written by the rank's own goroutine.
+	wait     atomic.Pointer[waitInfo]
+	finished atomic.Bool
 }
 
 // mailbox returns the channel carrying messages from src to p, creating it
@@ -142,7 +186,7 @@ func (p *Proc) mailbox(src int) chan packet {
 	if ch := p.in[src].Load(); ch != nil {
 		return *ch
 	}
-	ch := make(chan packet, mailboxCap)
+	ch := make(chan packet, p.m.mailboxCap())
 	if p.in[src].CompareAndSwap(nil, &ch) {
 		return ch
 	}
@@ -196,7 +240,52 @@ func (p *Proc) Send(dst int, v algebra.Value, tag int) {
 	p.m.startupWait()
 	p.sent++
 	p.sentWords += v.Words()
-	p.m.procs[dst].mailbox(p.rank) <- packet{value: v, tag: tag}
+	p.put(dst, packet{value: v, tag: tag})
+}
+
+// put enqueues a packet for dst. The fast path is a plain buffered-channel
+// send; when the mailbox is full and the watchdog is armed, the rank
+// publishes its blocked-on state and stays cancellable, so a send-side
+// deadlock (every mailbox full, nobody receiving) is diagnosed like a
+// receive-side one.
+func (p *Proc) put(dst int, pkt packet) {
+	ch := p.m.procs[dst].mailbox(p.rank)
+	if p.m.abort == nil {
+		ch <- pkt
+		return
+	}
+	select {
+	case ch <- pkt:
+		return
+	default:
+	}
+	p.wait.Store(&waitInfo{dir: "sending to", peer: dst, tag: pkt.tag, since: time.Now()})
+	defer p.wait.Store(nil)
+	select {
+	case ch <- pkt:
+	case <-p.m.abort:
+		panic(errWatchdogAbort)
+	}
+}
+
+// TrySend is the non-blocking variant of Send: it enqueues v for dst if the
+// mailbox has room and reports whether it did. Nothing is charged on
+// failure. Fault-injecting decorators build their retry loops on it so a
+// full mailbox never wedges a rank that still has protocol work to do.
+func (p *Proc) TrySend(dst int, v algebra.Value, tag int) bool {
+	if dst == p.rank {
+		panic(fmt.Sprintf("backend: rank %d sending to itself", p.rank))
+	}
+	p.checkRank(dst)
+	select {
+	case p.m.procs[dst].mailbox(p.rank) <- packet{value: v, tag: tag}:
+	default:
+		return false
+	}
+	p.m.startupWait()
+	p.sent++
+	p.sentWords += v.Words()
+	return true
 }
 
 // Recv receives the next message from rank src, blocking until it
@@ -218,10 +307,42 @@ func (p *Proc) Exchange(partner int, v algebra.Value, tag int) algebra.Value {
 	p.m.startupWait()
 	p.sent++
 	p.sentWords += v.Words()
-	p.m.procs[partner].mailbox(p.rank) <- packet{value: v, tag: tag}
+	p.put(partner, packet{value: v, tag: tag})
 	pkt := p.take(partner, tag, "deadlocked in exchange with")
 	return pkt.value
 }
+
+// RecvAny dequeues the next message from rank src regardless of its tag,
+// returning the value and the tag it was sent under. It blocks like Recv
+// (same timeout and watchdog discipline) but performs no tag check — it is
+// the raw link layer that fault-injecting decorators, which multiplex
+// their own protocol over one wire tag, read from.
+func (p *Proc) RecvAny(src int) (algebra.Value, int) {
+	p.checkRank(src)
+	pkt := p.take(src, anyTag, "waiting for a message from")
+	return pkt.value, pkt.tag
+}
+
+// TryRecvAny is the non-blocking variant of RecvAny: it dequeues an
+// already-arrived message from src, if there is one.
+func (p *Proc) TryRecvAny(src int) (algebra.Value, int, bool) {
+	p.checkRank(src)
+	select {
+	case pkt := <-p.mailbox(src):
+		p.recvd++
+		return pkt.value, pkt.tag, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// anyTag makes take skip the tag check; it is never a valid message tag
+// (NextTag counts up from 1, subgroup tags are offset positive).
+const anyTag = -1 << 62
+
+// errWatchdogAbort is the sentinel panic value of a rank cancelled by the
+// deadlock watchdog; Run replaces it with the watchdog's full report.
+var errWatchdogAbort = fmt.Errorf("backend: run aborted by deadlock watchdog")
 
 // take dequeues the next packet from src with the timeout and tag
 // discipline of the virtual machine. The timeout uses the rank's reusable
@@ -231,15 +352,37 @@ func (p *Proc) Exchange(partner int, v algebra.Value, tag int) algebra.Value {
 func (p *Proc) take(src, tag int, verb string) packet {
 	var pkt packet
 	ch := p.mailbox(src)
-	if p.m.Timeout > 0 {
-		if p.timer == nil {
-			p.timer = time.NewTimer(p.m.Timeout)
-		} else {
-			p.timer.Reset(p.m.Timeout)
+	watched := p.m.abort != nil
+	if p.m.Timeout > 0 || watched {
+		// Fast path: the message is already there — skip the timer and
+		// the wait-state publication entirely.
+		select {
+		case pkt = <-ch:
+			return p.accept(pkt, src, tag)
+		default:
+		}
+		if watched {
+			p.wait.Store(&waitInfo{dir: blockDir(verb), peer: src, tag: tag, since: time.Now()})
+			defer p.wait.Store(nil)
+		}
+		// A nil timer channel blocks forever, so the watchdog-only case
+		// (Timeout == 0) falls through to the abort select cleanly.
+		var timeoutC <-chan time.Time
+		if p.m.Timeout > 0 {
+			if p.timer == nil {
+				p.timer = time.NewTimer(p.m.Timeout)
+			} else {
+				p.timer.Reset(p.m.Timeout)
+			}
+			timeoutC = p.timer.C
+		}
+		var abortC chan struct{}
+		if watched {
+			abortC = p.m.abort
 		}
 		select {
 		case pkt = <-ch:
-			if !p.timer.Stop() {
+			if p.timer != nil && !p.timer.Stop() {
 				// The timer fired concurrently with the receive; drain it
 				// so the next Reset starts from a clean channel.
 				select {
@@ -247,17 +390,34 @@ func (p *Proc) take(src, tag int, verb string) packet {
 				default:
 				}
 			}
-		case <-p.timer.C:
-			panic(fmt.Sprintf("backend: rank %d %s rank %d (tag %d)", p.rank, verb, src, tag))
+		case <-timeoutC:
+			panic(fmt.Sprintf("backend: rank %d timed out after %v %s rank %d (tag %d); %d messages received, %d sent so far",
+				p.rank, p.m.Timeout, verb, src, tag, p.recvd, p.sent))
+		case <-abortC:
+			panic(errWatchdogAbort)
 		}
 	} else {
 		pkt = <-ch
 	}
-	if pkt.tag != tag {
+	return p.accept(pkt, src, tag)
+}
+
+// accept performs the tag check of the virtual machine and counts the
+// receive. A tag of anyTag skips the check (raw-link receives).
+func (p *Proc) accept(pkt packet, src, tag int) packet {
+	if tag != anyTag && pkt.tag != tag {
 		panic(fmt.Sprintf("backend: rank %d expected tag %d from rank %d, got %d", p.rank, tag, src, pkt.tag))
 	}
 	p.recvd++
 	return pkt
+}
+
+// blockDir maps take's panic verb to the watchdog report's direction.
+func blockDir(verb string) string {
+	if verb == "deadlocked in exchange with" {
+		return "exchanging with"
+	}
+	return "receiving from"
 }
 
 func (p *Proc) checkRank(r int) {
@@ -322,6 +482,7 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 			<-release
 			defer func() {
 				p.elapsed = time.Since(p.start)
+				p.finished.Store(true)
 				if e := recover(); e != nil {
 					panics[p.rank] = e
 				}
@@ -330,12 +491,31 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		}(m.procs[r])
 	}
 	ready.Wait()
+	var wdStop chan struct{}
+	if m.Watchdog > 0 {
+		m.abort = make(chan struct{})
+		m.wdReport = ""
+		wdStop = make(chan struct{})
+		m.wdWG.Add(1)
+		go m.watch(wdStop)
+	}
 	start := time.Now()
 	for _, p := range m.procs {
 		p.start = start
 	}
 	close(release)
 	done.Wait()
+	if wdStop != nil {
+		close(wdStop)
+		m.wdWG.Wait()
+		m.abort = nil
+	}
+	if m.wdReport != "" {
+		// The watchdog cancelled a quiesced run: every blocked rank
+		// panicked with the sentinel; surface the per-rank report instead.
+		m.procs = nil
+		panic(m.wdReport)
+	}
 	for r, e := range panics {
 		if e != nil {
 			// An aborted run can leave packets in flight; drop the cached
@@ -357,6 +537,63 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		}
 	}
 	return res
+}
+
+// watch is the deadlock watchdog: it samples every rank's published
+// blocking state and fires when the run has quiesced without finishing —
+// every unfinished rank stuck in the same send or receive for at least
+// m.Watchdog. (That condition is a true deadlock: a rank can only be
+// unblocked by another rank, and all of them are waiting.) On firing it
+// composes the per-rank blocked-on report and cancels every blocked rank,
+// so Run returns a diagnosis instead of hanging until Timeout or forever.
+func (m *Machine) watch(stop chan struct{}) {
+	defer m.wdWG.Done()
+	tick := m.Watchdog / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		unfinished, quiesced := 0, true
+		for _, p := range m.procs {
+			if p.finished.Load() {
+				continue
+			}
+			unfinished++
+			w := p.wait.Load()
+			if w == nil || now.Sub(w.since) < m.Watchdog {
+				quiesced = false
+				break
+			}
+		}
+		if unfinished == 0 || !quiesced {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "backend: deadlock: every unfinished rank blocked for %v with no progress\n", m.Watchdog)
+		for _, p := range m.procs {
+			if p.finished.Load() {
+				fmt.Fprintf(&b, "  rank %d: finished\n", p.rank)
+				continue
+			}
+			if w := p.wait.Load(); w != nil {
+				fmt.Fprintf(&b, "  rank %d: blocked %s rank %d (tag %d) for %v\n",
+					p.rank, w.dir, w.peer, w.tag, now.Sub(w.since).Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(&b, "  rank %d: running\n", p.rank)
+			}
+		}
+		m.wdReport = b.String()
+		close(m.abort)
+		return
+	}
 }
 
 // reset prepares the cached ranks for a fresh run, building them on the
@@ -383,6 +620,8 @@ func (m *Machine) reset() {
 		p.tagseq = 0
 		p.marks = p.marks[:0]
 		p.elapsed = 0
+		p.finished.Store(false)
+		p.wait.Store(nil)
 		// The previous run's completion barrier (done.Wait) ordered every
 		// rank's arena use before this reset.
 		p.arena.Reset()

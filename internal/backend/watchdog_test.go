@@ -1,0 +1,202 @@
+// Deadlock watchdog tests: a hand-planted deadlock must end in a
+// per-rank blocked-on report — rank, direction, peer, tag, wait duration
+// — instead of a hang, and the receive timeout must identify the blocked
+// edge. These are the diagnostics the chaos harness relies on when a
+// protocol bug wedges a run.
+package backend_test
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/backend"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if e := recover(); e != nil {
+				msg = fmt.Sprint(e)
+			}
+		}()
+		f()
+		t.Fatal("expected a panic, got a normal return")
+	}()
+	return msg
+}
+
+// TestWatchdogDiagnosesRecvCycle plants a three-rank receive cycle —
+// every rank waits for its successor, nobody sends — with no receive
+// timeout, and asserts the watchdog converts the hang into the full
+// per-rank diagnosis.
+func TestWatchdogDiagnosesRecvCycle(t *testing.T) {
+	m := backend.New(3)
+	m.Timeout = 0 // the watchdog alone must catch it
+	m.Watchdog = 100 * time.Millisecond
+	start := time.Now()
+	msg := mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			p.Recv((p.Rank()+1)%3, 7)
+		})
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire on a 100ms threshold", elapsed)
+	}
+	if !strings.Contains(msg, "backend: deadlock: every unfinished rank blocked") {
+		t.Fatalf("missing deadlock header in:\n%s", msg)
+	}
+	for r := 0; r < 3; r++ {
+		line := regexp.MustCompile(fmt.Sprintf(
+			`rank %d: blocked receiving from rank %d \(tag 7\) for \d+`, r, (r+1)%3))
+		if !line.MatchString(msg) {
+			t.Fatalf("no blocked-on line for rank %d in:\n%s", r, msg)
+		}
+	}
+}
+
+// TestWatchdogDiagnosesSendDeadlock wedges the send side: one-slot
+// mailboxes and two ranks that only send. Both block in put, and the
+// report must say so, naming the peer.
+func TestWatchdogDiagnosesSendDeadlock(t *testing.T) {
+	m := backend.New(2)
+	m.Timeout = 0
+	m.MailboxCap = 1
+	m.Watchdog = 100 * time.Millisecond
+	msg := mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			for i := 0; i < 10; i++ {
+				p.Send(1-p.Rank(), algebra.Scalar(1), 3)
+			}
+		})
+	})
+	for r := 0; r < 2; r++ {
+		line := regexp.MustCompile(fmt.Sprintf(
+			`rank %d: blocked sending to rank %d \(tag 3\) for \d+`, r, 1-r))
+		if !line.MatchString(msg) {
+			t.Fatalf("no send-blocked line for rank %d in:\n%s", r, msg)
+		}
+	}
+}
+
+// TestWatchdogReportsFinishedRanks deadlocks two ranks while a third
+// finishes cleanly; the report must distinguish the states.
+func TestWatchdogReportsFinishedRanks(t *testing.T) {
+	m := backend.New(3)
+	m.Timeout = 0
+	m.Watchdog = 100 * time.Millisecond
+	msg := mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			if p.Rank() == 2 {
+				return
+			}
+			p.Recv(1-p.Rank(), 9)
+		})
+	})
+	if !strings.Contains(msg, "rank 2: finished") {
+		t.Fatalf("finished rank not reported in:\n%s", msg)
+	}
+	if !regexp.MustCompile(`rank 0: blocked receiving from rank 1 \(tag 9\)`).MatchString(msg) {
+		t.Fatalf("rank 0 blocked-on line missing in:\n%s", msg)
+	}
+}
+
+// TestWatchdogSilentOnHealthyRuns runs a normal program with the
+// watchdog armed and checks it neither fires nor leaves goroutines
+// behind.
+func TestWatchdogSilentOnHealthyRuns(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := backend.New(4)
+	m.Watchdog = 50 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		m.Run(func(p *backend.Proc) {
+			tag := p.NextTag()
+			next, prev := (p.Rank()+1)%4, (p.Rank()+3)%4
+			p.Send(next, algebra.Scalar(float64(p.Rank())), tag)
+			if got := p.Recv(prev, tag); !algebra.Equal(got, algebra.Scalar(float64(prev))) {
+				panic(fmt.Sprintf("rank %d got %v from %d", p.Rank(), got, prev))
+			}
+			time.Sleep(120 * time.Millisecond) // idle but not blocked: must not trip the watchdog
+		})
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestWatchdogAbortLeavesNoGoroutines recovers from a watchdog abort and
+// verifies every rank goroutine and the monitor are gone.
+func TestWatchdogAbortLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := backend.New(4)
+	m.Timeout = 0
+	m.Watchdog = 80 * time.Millisecond
+	mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			p.Recv((p.Rank()+1)%4, 1)
+		})
+	})
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: limit %d, now %d\n%s", limit, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecvTimeoutDiagnosis pins the enriched receive-timeout message: it
+// must name the waiting rank, the peer, the tag, the elapsed bound and
+// the traffic counters, so a wedged run is debuggable from the panic
+// alone.
+func TestRecvTimeoutDiagnosis(t *testing.T) {
+	m := backend.New(2)
+	m.Timeout = 50 * time.Millisecond
+	msg := mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			if p.Rank() == 0 {
+				p.Recv(1, 5) // rank 1 never sends
+			}
+		})
+	})
+	want := regexp.MustCompile(
+		`backend: rank 0 timed out after 50ms waiting for a message from rank 1 \(tag 5\); 0 messages received, 0 sent so far`)
+	if !want.MatchString(msg) {
+		t.Fatalf("timeout diagnosis mismatch:\n%s", msg)
+	}
+}
+
+// TestExchangeTimeoutDiagnosis does the same for the exchange direction.
+func TestExchangeTimeoutDiagnosis(t *testing.T) {
+	m := backend.New(3)
+	m.Timeout = 50 * time.Millisecond
+	msg := mustPanic(t, func() {
+		m.Run(func(p *backend.Proc) {
+			if p.Rank() == 0 {
+				p.Exchange(2, algebra.Scalar(1), 4) // rank 2 never answers
+			}
+		})
+	})
+	want := regexp.MustCompile(
+		`backend: rank 0 timed out after 50ms deadlocked in exchange with rank 2 \(tag 4\)`)
+	if !want.MatchString(msg) {
+		t.Fatalf("exchange timeout diagnosis mismatch:\n%s", msg)
+	}
+}

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Seed shrinking: when a randomized sweep finds a failing (program, size,
+// profile, seed) combination, the raw reproducer is usually a six-stage
+// soup on eight ranks. Shrink cuts it down to a minimal case — fewest
+// stages, then smallest machine, then narrowest blocks — that still
+// fails, and Repro renders it as a collchaos command line.
+
+// Case is one chaos execution: a stage program on P ranks with M-word
+// blocks, under a fault profile and seed.
+type Case struct {
+	Prog    term.Seq
+	P, M    int
+	Profile Profile
+	Seed    int64
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s on p=%d m=%d under %s/seed=%d", c.Prog, c.P, c.M, c.Profile.Name, c.Seed)
+}
+
+// Repro renders the case as a collchaos invocation that replays it.
+func (c Case) Repro() string {
+	return fmt.Sprintf("go run ./cmd/collchaos -prog %q -p %d -m %d -profile %s -seed %d",
+		c.Prog.String(), c.P, c.M, c.Profile.Name, c.Seed)
+}
+
+// Shrink minimizes a failing case against the predicate fails (which must
+// be true for c itself): it greedily removes stages — single stages and
+// adjacent pairs, so gather;scatter round trips vanish together — then
+// walks P and M down, keeping every change that still fails, until a
+// fixpoint. The result fails, and no single removal or reduction of it
+// does.
+func Shrink(c Case, fails func(Case) bool) Case {
+	if !fails(c) {
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for width := 2; width >= 1; width-- {
+			for i := 0; i+width <= len(c.Prog); i++ {
+				cand := c
+				cand.Prog = cut(c.Prog, i, width)
+				if len(cand.Prog) == 0 || !wellFormed(cand.Prog) {
+					continue
+				}
+				if fails(cand) {
+					c = cand
+					changed = true
+					i--
+				}
+			}
+		}
+		for p := 2; p < c.P; p++ {
+			cand := c
+			cand.P = p
+			if fails(cand) {
+				c = cand
+				changed = true
+				break
+			}
+		}
+		for m := 1; m < c.M; m++ {
+			cand := c
+			cand.M = m
+			if fails(cand) {
+				c = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return c
+}
+
+// cut returns prog with width stages removed at i.
+func cut(prog term.Seq, i, width int) term.Seq {
+	out := make(term.Seq, 0, len(prog)-width)
+	out = append(out, prog[:i]...)
+	return append(out, prog[i+width:]...)
+}
+
+// wellFormed rejects programs a removal made structurally invalid: a
+// scatter must still be fed a list, i.e. immediately follow a gather
+// (the only list-producing stage the generator emits).
+func wellFormed(prog term.Seq) bool {
+	for i, s := range prog {
+		if _, ok := s.(term.Scatter); ok {
+			if i == 0 {
+				return false
+			}
+			if _, ok := prog[i-1].(term.Gather); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/chaos"
+	"repro/internal/lang"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// TestShrinkMinimizes drives Shrink with a synthetic failure predicate —
+// the case "fails" iff the program still contains a scan(+) and runs on
+// at least three ranks — and checks the result is minimal: one stage,
+// the smallest failing machine, the narrowest blocks.
+func TestShrinkMinimizes(t *testing.T) {
+	fails := func(c chaos.Case) bool {
+		if c.P < 3 {
+			return false
+		}
+		for _, s := range c.Prog {
+			if sc, ok := s.(term.Scan); ok && sc.Op == algebra.Add {
+				return true
+			}
+		}
+		return false
+	}
+	start := chaos.Case{
+		Prog: term.Seq{
+			term.Bcast{},
+			term.Scan{Op: algebra.Add},
+			term.Gather{}, term.Scatter{},
+			term.Reduce{Op: algebra.Mul, All: true},
+			term.Map{F: term.PairFn}, term.Map{F: term.FirstFn},
+		},
+		P: 8, M: 4,
+		Profile: chaos.MustByName("storm"),
+		Seed:    42,
+	}
+	min := chaos.Shrink(start, fails)
+	if !fails(min) {
+		t.Fatalf("shrunk case no longer fails: %s", min)
+	}
+	if len(min.Prog) != 1 {
+		t.Fatalf("expected a single-stage reproducer, got %s", min.Prog)
+	}
+	if min.P != 3 || min.M != 1 {
+		t.Fatalf("expected p=3 m=1, got p=%d m=%d", min.P, min.M)
+	}
+}
+
+// TestShrinkKeepsScatterFed checks the structural guard: shrinking never
+// produces a scatter without the gather that feeds it its list.
+func TestShrinkKeepsScatterFed(t *testing.T) {
+	fails := func(c chaos.Case) bool {
+		for _, s := range c.Prog {
+			if _, ok := s.(term.Scatter); ok {
+				return true
+			}
+		}
+		return false
+	}
+	start := chaos.Case{
+		Prog:    term.Seq{term.Bcast{}, term.Gather{}, term.Scatter{}, term.Bcast{}},
+		P:       4,
+		M:       1,
+		Profile: chaos.MustByName("delay"),
+	}
+	min := chaos.Shrink(start, fails)
+	want := term.Seq{term.Gather{}, term.Scatter{}}.String()
+	if min.Prog.String() != want {
+		t.Fatalf("expected %q, got %q", want, min.Prog)
+	}
+}
+
+// TestReproRoundTrips checks that the reproducer command embeds the
+// program in the surface syntax: the -prog string must parse back to the
+// same program (IncFn registered, as collchaos does).
+func TestReproRoundTrips(t *testing.T) {
+	c := chaos.Case{
+		Prog: term.Seq{
+			term.Bcast{},
+			term.Scan{Op: algebra.Left},
+			term.Map{F: rules.IncFn},
+			term.Gather{}, term.Scatter{},
+			term.Reduce{Op: algebra.Max, All: true},
+		},
+		P: 6, M: 2,
+		Profile: chaos.MustByName("loss"),
+		Seed:    7,
+	}
+	repro := c.Repro()
+	for _, want := range []string{"-p 6", "-m 2", "-profile loss", "-seed 7", "collchaos"} {
+		if !strings.Contains(repro, want) {
+			t.Fatalf("reproducer %q lacks %q", repro, want)
+		}
+	}
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	parsed, err := lang.Parse(c.Prog.String(), syms)
+	if err != nil {
+		t.Fatalf("reproducer program %q does not parse: %v", c.Prog, err)
+	}
+	if parsed.String() != c.Prog.String() {
+		t.Fatalf("parse round trip changed the program: %q -> %q", c.Prog, parsed)
+	}
+}

@@ -32,6 +32,25 @@ type Comm interface {
 	NextTag() int
 }
 
+// Transport is optionally implemented by communicators that expose the
+// raw link layer beneath the tag discipline: non-blocking sends and
+// tag-oblivious receives. Decorators that perturb traffic (package chaos)
+// multiplex their own wire protocol — envelopes carrying the application
+// tag, acknowledgements, retransmissions — over these primitives, while
+// the collectives above them keep the ordinary tagged Comm interface.
+// Both backends implement it; a decorator should type-assert and refuse
+// communicators that do not.
+type Transport interface {
+	// TrySend enqueues v for dst if the link has room and reports
+	// whether it did; nothing is charged on failure.
+	TrySend(dst int, v Value, tag int) bool
+	// RecvAny blocks for the next message from src regardless of tag,
+	// returning the value and the tag it was sent under.
+	RecvAny(src int) (Value, int)
+	// TryRecvAny dequeues an already-arrived message from src, if any.
+	TryRecvAny(src int) (Value, int, bool)
+}
+
 // Marker is optionally implemented by communicators that can record
 // stage-boundary annotations — the virtual machine puts them on the event
 // trace, the native backend on its wall-clock timeline. Executors should
@@ -76,6 +95,30 @@ func (w *world) Compute(n float64) { w.p.Compute(n) }
 func (w *world) NextTag() int {
 	w.tagseq++
 	return w.tagseq
+}
+
+// TrySend exposes the processor's non-blocking send (Transport).
+func (w *world) TrySend(dst int, v Value, tag int) bool {
+	return w.p.TrySend(dst, v, v.Words(), tag)
+}
+
+// RecvAny exposes the processor's tag-oblivious receive (Transport).
+func (w *world) RecvAny(src int) (Value, int) {
+	raw, tag := w.p.RecvAny(src)
+	if raw == nil {
+		return nil, tag
+	}
+	return raw.(Value), tag
+}
+
+// TryRecvAny exposes the processor's non-blocking tag-oblivious receive
+// (Transport).
+func (w *world) TryRecvAny(src int) (Value, int, bool) {
+	raw, tag, ok := w.p.TryRecvAny(src)
+	if !ok || raw == nil {
+		return nil, tag, ok
+	}
+	return raw.(Value), tag, ok
 }
 
 // Mark records a stage annotation on the processor's event trace.

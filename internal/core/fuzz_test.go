@@ -9,33 +9,10 @@ import (
 	"repro/internal/term"
 )
 
-// randProgram mirrors the rules package fuzzer: random stage soups over
-// operators with known properties.
+// randProgram is the shared generator of the rules package (gen.go):
+// random stage soups over operators with known properties.
 func randProgram(rng *rand.Rand, maxStages int) term.Seq {
-	ops := []*algebra.Op{algebra.Add, algebra.Mul, algebra.Max, algebra.Min, algebra.Left}
-	inc := &term.Fn{Name: "inc", Cost: 1, F: func(v algebra.Value) algebra.Value {
-		return algebra.Add.Apply(v, algebra.Scalar(1))
-	}}
-	n := 1 + rng.Intn(maxStages)
-	prog := make(term.Seq, 0, n)
-	for i := 0; i < n; i++ {
-		op := ops[rng.Intn(len(ops))]
-		switch rng.Intn(6) {
-		case 0:
-			prog = append(prog, term.Bcast{})
-		case 1:
-			prog = append(prog, term.Scan{Op: op})
-		case 2:
-			prog = append(prog, term.Reduce{Op: op})
-		case 3:
-			prog = append(prog, term.Reduce{Op: op, All: true})
-		case 4:
-			prog = append(prog, term.Map{F: inc})
-		case 5:
-			prog = append(prog, term.Gather{}, term.Scatter{})
-		}
-	}
-	return prog
+	return rules.RandProgram(rng, maxStages)
 }
 
 // TestFuzzMachineAgreesWithSemantics runs random programs — original and

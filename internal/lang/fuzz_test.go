@@ -1,0 +1,52 @@
+package lang_test
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// FuzzParse throws arbitrary byte strings at the surface-syntax parser
+// and the MPI-sketch parser. Neither may crash; and whenever Parse
+// accepts an input, the printed form must re-parse to the same printed
+// form — the round trip the chaos harness's reproducer strings rely on.
+//
+// The committed corpus lives in testdata/fuzz/FuzzParse; CI runs a short
+// -fuzz smoke on top of the fixed seeds.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"bcast",
+		"bcast ; scan(+) ; reduce(*)",
+		"map pair ; allreduce(max) ; map pi_1",
+		"gather ; scatter",
+		"scan(left) ; scan(min) ; reduce(+)",
+		"bcast ; scan(+) ; scan(*) ; allreduce(max)",
+		"map quadruple ; map pi_1",
+		"scan(",
+		"bcast ;; scan(+)",
+		"reduce(unknownop)",
+		"map nosuchfn",
+		"; bcast",
+		"",
+		"scan(+) extra",
+		"bcast ; scan(+) ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, err := lang.Parse(src, nil)
+		if err == nil {
+			s1 := tm.String()
+			tm2, err2 := lang.Parse(s1, nil)
+			if err2 != nil {
+				t.Fatalf("accepted %q but rejected its own print %q: %v", src, s1, err2)
+			}
+			if s2 := tm2.String(); s2 != s1 {
+				t.Fatalf("print round trip diverged: %q -> %q -> %q", src, s1, s2)
+			}
+		}
+		// The MPI-sketch parser must never crash either; its errors are
+		// free-form, so only robustness is asserted.
+		_, _ = lang.ParseMPI(src, nil)
+	})
+}

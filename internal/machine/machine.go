@@ -49,6 +49,11 @@ type Machine struct {
 	// intra-node links are much cheaper than inter-node ones. The
 	// function must be symmetric for SendRecv to stay consistent.
 	LinkCost func(src, dst int) Params
+	// MailboxCap overrides the buffer depth per directed processor pair.
+	// Zero means the default (4), which is enough for every collective in
+	// package coll; fault-injecting decorators that put retransmissions
+	// and acknowledgements on the same links want more headroom.
+	MailboxCap int
 
 	tracer *Tracer
 	// procs is the processor table of the run in progress. A Machine
@@ -173,6 +178,75 @@ func (p *Proc) Recv(src int, tag int) any {
 	return pkt.value
 }
 
+// TrySend is the non-blocking variant of Send: it ships the value if the
+// destination mailbox has room and reports whether it did. Nothing is
+// charged on failure. Fault-injecting decorators build their retry loops
+// on it so a full mailbox never wedges a processor that still has
+// protocol work to do.
+func (p *Proc) TrySend(dst int, value any, words int, tag int) bool {
+	if dst == p.rank {
+		panic(fmt.Sprintf("machine: proc %d sending to itself", p.rank))
+	}
+	p.checkRank(dst)
+	depart := p.clock
+	select {
+	case p.m.procs[dst].in[p.rank] <- packet{value: value, words: words, depart: depart, tag: tag}:
+	default:
+		return false
+	}
+	cost := p.m.linkParams(p.rank, dst)
+	p.clock += cost.Ts + float64(words)*cost.Tw
+	p.sent++
+	p.sentWords += words
+	p.m.trace(Event{Kind: EvSend, Proc: p.rank, Peer: dst, Words: words, Start: depart, End: p.clock, Tag: tag})
+	return true
+}
+
+// RecvAny receives the next message from processor src regardless of its
+// tag, returning the value and the tag it was sent under — the raw link
+// layer beneath the tag discipline, for fault-injecting decorators that
+// multiplex their own protocol over one wire tag. Clock accounting is
+// identical to Recv's.
+func (p *Proc) RecvAny(src int) (any, int) {
+	p.checkRank(src)
+	var pkt packet
+	if p.m.Timeout > 0 {
+		select {
+		case pkt = <-p.in[src]:
+		case <-time.After(p.m.Timeout):
+			panic(fmt.Sprintf("machine: proc %d timed out after %v waiting for any message from proc %d", p.rank, p.m.Timeout, src))
+		}
+	} else {
+		pkt = <-p.in[src]
+	}
+	return p.admit(pkt, src), pkt.tag
+}
+
+// TryRecvAny is the non-blocking variant of RecvAny: it dequeues an
+// already-arrived message from src, if there is one.
+func (p *Proc) TryRecvAny(src int) (any, int, bool) {
+	p.checkRank(src)
+	select {
+	case pkt := <-p.in[src]:
+		return p.admit(pkt, src), pkt.tag, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// admit applies Recv's clock accounting to a dequeued packet.
+func (p *Proc) admit(pkt packet, src int) any {
+	start := p.clock
+	if pkt.depart > start {
+		start = pkt.depart
+	}
+	cost := p.m.linkParams(src, p.rank)
+	p.clock = start + cost.Ts + float64(pkt.words)*cost.Tw
+	p.recvd++
+	p.m.trace(Event{Kind: EvRecv, Proc: p.rank, Peer: src, Words: pkt.words, Start: start, End: p.clock, Tag: pkt.tag})
+	return pkt.value
+}
+
 // SendRecv performs the simultaneous bidirectional exchange of §4.1: this
 // processor and partner swap values over their bidirectional link. Both
 // clocks advance to max(clock_a, clock_b) + ts + max(words)·tw — the two
@@ -249,11 +323,15 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	m.procs = make([]*Proc, m.P)
 	for r := 0; r < m.P; r++ {
 		in := make([]chan packet, m.P)
+		cap := m.MailboxCap
+		if cap <= 0 {
+			// Capacity 4 is plenty: the collectives never have more
+			// than one outstanding message per directed pair.
+			cap = 4
+		}
 		for s := 0; s < m.P; s++ {
 			if s != r {
-				// Capacity P is plenty: the collectives never have more
-				// than one outstanding message per directed pair.
-				in[s] = make(chan packet, 4)
+				in[s] = make(chan packet, cap)
 			}
 		}
 		m.procs[r] = &Proc{rank: r, m: m, in: in}

@@ -4,38 +4,13 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/algebra"
 	"repro/internal/term"
 )
 
-// randProgram builds a random composition of local and collective stages
-// over operators whose algebraic properties the default registry knows,
-// so every rule has a chance to fire somewhere.
+// randProgram is the shared generator of gen.go — random stage soups over
+// operators with known properties, so every rule has a chance to fire.
 func randProgram(rng *rand.Rand, maxStages int) term.Seq {
-	ops := []*algebra.Op{algebra.Add, algebra.Mul, algebra.Max, algebra.Min, algebra.Left}
-	inc := &term.Fn{Name: "inc", Cost: 1, F: func(v algebra.Value) algebra.Value {
-		return algebra.Add.Apply(v, algebra.Scalar(1))
-	}}
-	n := 1 + rng.Intn(maxStages)
-	prog := make(term.Seq, 0, n)
-	for i := 0; i < n; i++ {
-		op := ops[rng.Intn(len(ops))]
-		switch rng.Intn(6) {
-		case 0:
-			prog = append(prog, term.Bcast{})
-		case 1:
-			prog = append(prog, term.Scan{Op: op})
-		case 2:
-			prog = append(prog, term.Reduce{Op: op})
-		case 3:
-			prog = append(prog, term.Reduce{Op: op, All: true})
-		case 4:
-			prog = append(prog, term.Map{F: inc})
-		case 5:
-			prog = append(prog, term.Map{F: term.PairFn}, term.Map{F: term.FirstFn})
-		}
-	}
-	return prog
+	return RandProgram(rng, maxStages)
 }
 
 // TestFuzzOptimizePreservesSemantics optimizes hundreds of random

@@ -1,0 +1,74 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+// decodeProgram maps fuzz bytes to a stage program, two bytes per stage
+// (kind, operator), mirroring the shapes of RandProgram so the fuzzer
+// explores the same grammar the randomized harness does — but driven by
+// coverage feedback instead of a PRNG. Stage count is capped so a long
+// input cannot make a single fuzz execution expensive.
+func decodeProgram(data []byte) term.Seq {
+	var prog term.Seq
+	for i := 0; i+1 < len(data) && len(prog) < 8; i += 2 {
+		op := genOps[int(data[i+1])%len(genOps)]
+		switch data[i] % 7 {
+		case 0:
+			prog = append(prog, term.Bcast{})
+		case 1:
+			prog = append(prog, term.Scan{Op: op})
+		case 2:
+			prog = append(prog, term.Reduce{Op: op})
+		case 3:
+			prog = append(prog, term.Reduce{Op: op, All: true})
+		case 4:
+			prog = append(prog, term.Map{F: IncFn})
+		case 5:
+			prog = append(prog, term.Map{F: term.PairFn}, term.Map{F: term.FirstFn})
+		case 6:
+			prog = append(prog, term.Gather{}, term.Scatter{})
+		}
+	}
+	return prog
+}
+
+// FuzzRewrite optimizes byte-decoded programs with the full rule set —
+// paper rules and extensions — and verifies the result against the
+// original under the functional semantics on power-of-two sizes. Any
+// rewrite that changes the meaning of any decodable program is a
+// finding.
+//
+// The committed corpus lives in testdata/fuzz/FuzzRewrite; CI runs a
+// short -fuzz smoke on top of the fixed seeds.
+func FuzzRewrite(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 3, 1})       // bcast ; scan(+) ; allreduce(*)
+	f.Add([]byte{1, 0, 2, 0})             // scan(+) ; reduce(+) — SR-Reduction
+	f.Add([]byte{0, 0, 1, 4, 2, 4})       // bcast ; scan(left) ; reduce(left)
+	f.Add([]byte{6, 0, 6, 0})             // two gather;scatter round trips
+	f.Add([]byte{5, 0, 4, 0, 0, 0})       // pair;pi_1 ; inc ; bcast
+	f.Add([]byte{1, 1, 1, 0, 2, 2, 3, 3}) // scan(*);scan(+);reduce(max);allreduce(min)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeProgram(data)
+		if len(prog) == 0 {
+			t.Skip("no stages decoded")
+		}
+		eng := NewEngine()
+		eng.Rules = AllWithExtensions()
+		eng.Env.P = 4
+		opt, apps := eng.Optimize(prog)
+		cfg := VerifyConfig{
+			Seed: 11, Trials: 4, Sizes: []int{1, 2, 4}, RelTol: 1e-9,
+		}
+		if err := VerifyEquivalence(prog, opt, cfg); err != nil {
+			t.Fatalf("optimization changed the meaning of %s (-> %s, %d applications): %v",
+				prog, opt, len(apps), err)
+		}
+		// The engine must have reached a fixpoint.
+		if _, _, ok := eng.Step(opt); ok {
+			t.Fatalf("engine left an applicable rule in %s", opt)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/term"
+)
+
+// Negative suite: every rule's side condition must actually gate the
+// rewrite. For each rule, a program that matches the syntactic pattern
+// but violates the condition — a non-commutative ⊕ where commutativity
+// is required, a non-distributing pair, a non-power-of-two machine for
+// the Local class — must be left alone; the companion "fixed" program
+// shows the violation, not the shape, is what blocks it. The second half
+// forces the forbidden rewrites by hand and checks VerifyEquivalence
+// rejects them with a concrete counterexample.
+
+// singleRule returns an engine that knows only the named rule.
+func singleRule(t *testing.T, name string, p int) *Engine {
+	t.Helper()
+	r, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no rule named %s", name)
+	}
+	e := NewEngine()
+	e.Rules = []Rule{r}
+	e.Env.P = p
+	return e
+}
+
+func TestSideConditionViolationsAreRejected(t *testing.T) {
+	scan := func(op *algebra.Op) term.Term { return term.Scan{Op: op} }
+	red := func(op *algebra.Op) term.Term { return term.Reduce{Op: op} }
+	allred := func(op *algebra.Op) term.Term { return term.Reduce{Op: op, All: true} }
+	bcast := term.Bcast{}
+
+	cases := []struct {
+		rule string
+		why  string
+		p    int
+		prog term.Seq // matches the pattern, violates the condition
+		ok   term.Seq // same shape, condition satisfied (nil: covered by another case)
+	}{
+		{rule: "SR2-Reduction", why: "+ does not distribute over *", p: 4,
+			prog: term.Seq{scan(algebra.Add), red(algebra.Mul)},
+			ok:   term.Seq{scan(algebra.Mul), red(algebra.Add)}},
+		{rule: "SR-Reduction", why: "left is not commutative", p: 4,
+			prog: term.Seq{scan(algebra.Left), red(algebra.Left)},
+			ok:   term.Seq{scan(algebra.Add), red(algebra.Add)}},
+		{rule: "SR-Reduction", why: "scan and reduce operators differ", p: 4,
+			prog: term.Seq{scan(algebra.Add), red(algebra.Max)}},
+		{rule: "SS2-Scan", why: "+ does not distribute over *", p: 4,
+			prog: term.Seq{scan(algebra.Add), scan(algebra.Mul)},
+			ok:   term.Seq{scan(algebra.Mul), scan(algebra.Add)}},
+		{rule: "SS-Scan", why: "left is not commutative", p: 4,
+			prog: term.Seq{scan(algebra.Left), scan(algebra.Left)},
+			ok:   term.Seq{scan(algebra.Min), scan(algebra.Min)}},
+		{rule: "BS-Comcast", why: "- is not associative", p: 4,
+			prog: term.Seq{bcast, scan(algebra.Sub)},
+			ok:   term.Seq{bcast, scan(algebra.Add)}},
+		{rule: "BSS2-Comcast", why: "+ does not distribute over *", p: 4,
+			prog: term.Seq{bcast, scan(algebra.Add), scan(algebra.Mul)},
+			ok:   term.Seq{bcast, scan(algebra.Mul), scan(algebra.Add)}},
+		{rule: "BSS-Comcast", why: "left is not commutative", p: 4,
+			prog: term.Seq{bcast, scan(algebra.Left), scan(algebra.Left)},
+			ok:   term.Seq{bcast, scan(algebra.Add), scan(algebra.Add)}},
+		{rule: "BR-Local", why: "- is not associative", p: 4,
+			prog: term.Seq{bcast, red(algebra.Sub)},
+			ok:   term.Seq{bcast, red(algebra.Add)}},
+		{rule: "BR-Local", why: "p=6 is not a power of two", p: 6,
+			prog: term.Seq{bcast, red(algebra.Add)}},
+		{rule: "BSR2-Local", why: "+ does not distribute over *", p: 4,
+			prog: term.Seq{bcast, scan(algebra.Add), red(algebra.Mul)},
+			ok:   term.Seq{bcast, scan(algebra.Mul), red(algebra.Add)}},
+		{rule: "BSR2-Local", why: "p=6 is not a power of two", p: 6,
+			prog: term.Seq{bcast, scan(algebra.Mul), red(algebra.Add)}},
+		{rule: "BSR-Local", why: "left is not commutative", p: 4,
+			prog: term.Seq{bcast, scan(algebra.Left), red(algebra.Left)},
+			ok:   term.Seq{bcast, scan(algebra.Add), red(algebra.Add)}},
+		{rule: "BSR-Local", why: "p=6 is not a power of two", p: 6,
+			prog: term.Seq{bcast, scan(algebra.Add), red(algebra.Add)}},
+		{rule: "CR-AllLocal", why: "- is not associative", p: 4,
+			prog: term.Seq{bcast, allred(algebra.Sub)},
+			ok:   term.Seq{bcast, allred(algebra.Add)}},
+		{rule: "CR-AllLocal", why: "p=6 is not a power of two", p: 6,
+			prog: term.Seq{bcast, allred(algebra.Add)}},
+		{rule: "RB-AllReduce", why: "- is not associative", p: 4,
+			prog: term.Seq{red(algebra.Sub), bcast},
+			ok:   term.Seq{red(algebra.Max), bcast}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule+"/"+strings.ReplaceAll(tc.why, " ", "_"), func(t *testing.T) {
+			e := singleRule(t, tc.rule, tc.p)
+			out, apps := e.Optimize(tc.prog)
+			if len(apps) != 0 {
+				t.Fatalf("rule %s applied to %s despite %s: %s -> %s",
+					tc.rule, tc.prog, tc.why, tc.prog, out)
+			}
+			if out.String() != tc.prog.String() {
+				t.Fatalf("program changed without an application: %s -> %s", tc.prog, out)
+			}
+			if tc.ok != nil {
+				if _, apps := singleRule(t, tc.rule, tc.p).Optimize(tc.ok); len(apps) == 0 {
+					t.Fatalf("control program %s did not trigger %s — the negative case proves nothing",
+						tc.ok, tc.rule)
+				}
+			}
+		})
+	}
+}
+
+// TestForcedWrongRewritesFailVerification constructs the right-hand
+// sides the side conditions forbid — exactly what the rules would emit
+// if the guard were dropped — and checks the randomized verifier refutes
+// each with a counterexample.
+func TestForcedWrongRewritesFailVerification(t *testing.T) {
+	cfg := VerifyConfig{Seed: 5, Trials: 30}
+	cases := []struct {
+		name     string
+		lhs, rhs term.Term
+		cfg      VerifyConfig
+	}{
+		{
+			// SR-Reduction on an operator that is neither associative
+			// nor commutative: op_sr(-) under the balanced bracketing
+			// computes something else than the sequential scan;reduce.
+			// (With left the two sides coincide — the condition is
+			// sufficient, not necessary — so the discriminating witness
+			// is -.)
+			name: "SR-Reduction/sub",
+			lhs:  term.Seq{term.Scan{Op: algebra.Sub}, term.Reduce{Op: algebra.Sub}},
+			rhs: term.Seq{
+				term.Map{F: term.PairFn},
+				term.Reduce{Op: algebra.OpSR(algebra.Sub), Balanced: true},
+				term.Map{F: term.FirstFn},
+			},
+			cfg: cfg,
+		},
+		{
+			// SS-Scan likewise: op_ss(-) under the balanced scan tree.
+			name: "SS-Scan/sub",
+			lhs:  term.Seq{term.Scan{Op: algebra.Sub}, term.Scan{Op: algebra.Sub}},
+			rhs: term.Seq{
+				term.Map{F: term.QuadrupleFn},
+				term.ScanBal{Op: algebra.OpSS(algebra.Sub)},
+				term.Map{F: term.FirstFn},
+			},
+			cfg: cfg,
+		},
+		{
+			// BSR2-Local without distributivity: iter(op_bsr2(+,*))'s
+			// repeated squaring needs + to distribute over *, which it
+			// does not. Power-of-two sizes only, so the distributivity
+			// violation — not the machine size — is what is caught.
+			name: "BSR2-Local/add-over-mul",
+			lhs:  term.Seq{term.Bcast{}, term.Scan{Op: algebra.Add}, term.Reduce{Op: algebra.Mul}},
+			rhs:  term.Seq{term.Iter{Op: algebra.OpBSR2(algebra.Add, algebra.Mul)}},
+			cfg:  VerifyConfig{Seed: 5, Trials: 30, Pow2Only: true},
+		},
+		{
+			// BR-Local off its power-of-two domain: repeated squaring
+			// over-counts the reduction.
+			name: "BR-Local/non-pow2",
+			lhs:  term.Seq{term.Bcast{}, term.Reduce{Op: algebra.Add}},
+			rhs:  term.Seq{term.Iter{Op: algebra.OpBR(algebra.Add)}},
+			cfg:  VerifyConfig{Seed: 5, Trials: 10, Sizes: []int{3, 5, 6}},
+		},
+		{
+			// CR-AllLocal off its power-of-two domain.
+			name: "CR-AllLocal/non-pow2",
+			lhs:  term.Seq{term.Bcast{}, term.Reduce{Op: algebra.Add, All: true}},
+			rhs:  term.Seq{term.Iter{Op: algebra.OpBR(algebra.Add)}, term.Bcast{}},
+			cfg:  VerifyConfig{Seed: 5, Trials: 10, Sizes: []int{3, 5, 6}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := VerifyEquivalence(tc.lhs, tc.rhs, tc.cfg); err == nil {
+				t.Fatalf("verifier accepted the forbidden rewrite %s -> %s", tc.lhs, tc.rhs)
+			}
+		})
+	}
+}
+
+// TestVerifierAcceptsLegalRewrites is the control for the test above:
+// the same constructions with their side conditions satisfied pass.
+func TestVerifierAcceptsLegalRewrites(t *testing.T) {
+	cfg := VerifyConfig{Seed: 5, Trials: 15}
+	lhs := term.Seq{term.Scan{Op: algebra.Add}, term.Reduce{Op: algebra.Add}}
+	rhs := term.Seq{
+		term.Map{F: term.PairFn},
+		term.Reduce{Op: algebra.OpSR(algebra.Add), Balanced: true},
+		term.Map{F: term.FirstFn},
+	}
+	if err := VerifyEquivalence(lhs, rhs, cfg); err != nil {
+		t.Fatalf("verifier rejected the legal SR-Reduction rewrite: %v", err)
+	}
+	pow2 := VerifyConfig{Seed: 5, Trials: 15, Pow2Only: true}
+	lhs2 := term.Seq{term.Bcast{}, term.Reduce{Op: algebra.Add}}
+	rhs2 := term.Seq{term.Iter{Op: algebra.OpBR(algebra.Add)}}
+	if err := VerifyEquivalence(lhs2, rhs2, pow2); err != nil {
+		t.Fatalf("verifier rejected BR-Local on powers of two: %v", err)
+	}
+}
