@@ -11,8 +11,12 @@
 //	collbench -fig2                   reproduce Figure 2
 //	collbench -fig3                   reproduce Figure 3 (timelines)
 //	collbench -crossover              measured vs predicted crossovers
+//	collbench -crossfig [-csv]        plot the SS2-Scan crossover (§4.2)
+//	collbench -scaling                strong scaling of SR2-Reduction's saving
+//	collbench -apps                   strong scaling of the collective-only apps
 //	collbench -polyeval               reproduce the §5 case study
 //	collbench -everything             all of the above
+//	collbench -report                 the full Markdown report (EXPERIMENTS.md)
 //	collbench -benchjson FILE         wall-clock fusion suite → JSON
 //	collbench -calibrate              fit ts/tw/tc from native microbenchmarks
 //

@@ -13,9 +13,10 @@
 //
 // Common flags: -p ranks, -m words per block, -profile NAME|all, -seed
 // BASE, -seeds COUNT (seeds BASE..BASE+COUNT-1), -trials N random
-// programs. A failing randomized or explicit run is shrunk to a minimal
-// case and reported as a replayable -prog command line, so a CI failure
-// pastes straight back into a terminal.
+// programs, -v to report every run instead of just failures. A failing
+// randomized or explicit run is shrunk to a minimal case and reported
+// as a replayable -prog command line, so a CI failure pastes straight
+// back into a terminal.
 //
 // Exit status: 0 all runs conformed, 1 a divergence or hang was found,
 // 2 usage error.

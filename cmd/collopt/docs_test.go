@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/docscan"
+)
+
+// TestDocCommentCoversEveryFlag: each flag collopt defines must be
+// mentioned in the command's doc comment.
+func TestDocCommentCoversEveryFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("-h: exit %d", code)
+	}
+	defined := docscan.UsageFlags(errb.String())
+	if len(defined) == 0 {
+		t.Fatalf("no flags parsed from usage:\n%s", errb.String())
+	}
+	src, err := docscan.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := docscan.Flags(docscan.DocComment(src))
+	if missing := docscan.Missing(defined, documented); missing != nil {
+		t.Errorf("flags missing from the doc comment: %v", missing)
+	}
+}

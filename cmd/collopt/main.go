@@ -6,6 +6,7 @@
 // Usage:
 //
 //	collopt [flags] "scan(*) ; reduce(+)"
+//	echo "scan(*) ; reduce(+)" | collopt [flags] -prog -
 //
 // Flags:
 //
@@ -13,8 +14,17 @@
 //	-tw N     per-word transfer time (default 1)
 //	-p N      number of processors (default 64)
 //	-m N      block size in words (default 64)
+//	-prog P   the program; "-" reads it from stdin (alternative to the
+//	          positional argument, for shell pipelines)
 //	-all      apply every applicable rule, ignoring the cost estimates
 //	-verify   check the rewriting on random inputs (default true)
+//	-rules    print the rule catalog and exit
+//	-mpi      parse the program in the paper's MPI notation
+//	-emit-mpi render the optimized program as MPI-like pseudocode
+//	-explain  render applications in the paper's rule format
+//
+//	-cpuprofile FILE / -memprofile FILE  write runtime/pprof profiles of
+//	                   the run (see docs/PERF.md)
 //
 //	-params-file FILE  use the calibrated ts/tw from a collbench -calibrate
 //	                   report, so the cost-guided decisions reflect this
@@ -42,12 +52,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run executes the CLI and returns the process exit code; factored out of
 // main so the command is testable.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("collopt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	ts := fs.Float64("ts", 1000, "message start-up time")
@@ -60,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mpi := fs.Bool("mpi", false, "parse the program in the paper's MPI notation instead of the compact one")
 	emitMPI := fs.Bool("emit-mpi", false, "render the optimized program as MPI-like pseudocode")
 	explain := fs.Bool("explain", false, "render applications in the paper's rule format")
+	progFlag := fs.String("prog", "", `the program; "-" reads it from stdin`)
 	paramsFile := fs.String("params-file", "", "load calibrated ts/tw from a collbench -calibrate report")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -91,8 +102,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if fs.NArg() != 1 {
+	src := ""
+	switch {
+	case *progFlag != "" && fs.NArg() > 0:
+		fmt.Fprintln(stderr, "collopt: give the program either positionally or via -prog, not both")
+		return 2
+	case *progFlag == "-":
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "collopt: reading stdin: %v\n", err)
+			return 1
+		}
+		src = string(data)
+	case *progFlag != "":
+		src = *progFlag
+	case fs.NArg() == 1:
+		src = fs.Arg(0)
+	default:
 		fmt.Fprintln(stderr, "usage: collopt [flags] \"scan(*) ; reduce(+)\"")
+		fmt.Fprintln(stderr, "       echo \"scan(*) ; reduce(+)\" | collopt [flags] -prog -")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -100,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *mpi {
 		parse = lang.ParseMPI
 	}
-	t, err := parse(fs.Arg(0), nil)
+	t, err := parse(src, nil)
 	if err != nil {
 		fmt.Fprintf(stderr, "collopt: parse error: %v\n", err)
 		return 1

@@ -11,8 +11,14 @@ import (
 
 func runOpt(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
+	return runOptStdin(t, "", args...)
+}
+
+// runOptStdin runs the CLI with the given stdin contents.
+func runOptStdin(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
 	var out, errb bytes.Buffer
-	code := run(args, &out, &errb)
+	code := run(args, strings.NewReader(stdin), &out, &errb)
 	return out.String(), errb.String(), code
 }
 
@@ -79,6 +85,81 @@ func TestUsageOnMissingArgument(t *testing.T) {
 	_, errb, code := runOpt(t)
 	if code != 2 || !strings.Contains(errb, "usage: collopt") {
 		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+// TestProgFlag covers the -prog alternative to the positional argument,
+// including "-prog -" reading the program from stdin.
+func TestProgFlag(t *testing.T) {
+	cases := []struct {
+		name    string
+		stdin   string
+		args    []string
+		code    int
+		wantOut string
+		wantErr string
+	}{
+		{
+			name:    "stdin program",
+			stdin:   "bcast ; scan(+) ; scan(+)\n",
+			args:    []string{"-ts", "1000", "-m", "16", "-prog", "-"},
+			code:    0,
+			wantOut: "applied BSS-Comcast",
+		},
+		{
+			name:    "stdin with trailing comment lines",
+			stdin:   "scan(*) ; reduce(+) # piped from a generator\n",
+			args:    []string{"-ts", "5000", "-prog", "-"},
+			code:    0,
+			wantOut: "applied SR2-Reduction",
+		},
+		{
+			name:    "prog flag with inline value",
+			args:    []string{"-ts", "5000", "-prog", "scan(+) ; reduce(+)"},
+			code:    0,
+			wantOut: "applied SR-Reduction",
+		},
+		{
+			name:    "stdin parse error exits 1",
+			stdin:   "scan(bogus)",
+			args:    []string{"-prog", "-"},
+			code:    1,
+			wantErr: "unknown operator",
+		},
+		{
+			name:    "empty stdin exits 1",
+			stdin:   "",
+			args:    []string{"-prog", "-"},
+			code:    1,
+			wantErr: "parse error",
+		},
+		{
+			name:    "both positional and -prog exits 2",
+			args:    []string{"-prog", "scan(+)", "reduce(+)"},
+			code:    2,
+			wantErr: "not both",
+		},
+		{
+			name:    "stdin works with -mpi",
+			stdin:   "MPI_Scan (x, y, c, t, MPI_PROD, comm); MPI_Reduce (y, u, c, t, MPI_SUM, root, comm);",
+			args:    []string{"-mpi", "-prog", "-"},
+			code:    0,
+			wantOut: "applied SR2-Reduction",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, errb, code := runOptStdin(t, c.stdin, c.args...)
+			if code != c.code {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, c.code, out, errb)
+			}
+			if c.wantOut != "" && !strings.Contains(out, c.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", c.wantOut, out)
+			}
+			if c.wantErr != "" && !strings.Contains(errb, c.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", c.wantErr, errb)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/docscan"
+)
+
+// definedFlags harvests the command's real flag set from its -h output.
+func definedFlags(t *testing.T) map[string]bool {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("-h: exit %d", code)
+	}
+	flags := docscan.UsageFlags(errb.String())
+	if len(flags) == 0 {
+		t.Fatalf("no flags parsed from usage:\n%s", errb.String())
+	}
+	return flags
+}
+
+// TestDocCommentCoversEveryFlag: each flag collserve defines must be
+// mentioned in the command's doc comment.
+func TestDocCommentCoversEveryFlag(t *testing.T) {
+	src, err := docscan.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := docscan.Flags(docscan.DocComment(src))
+	if missing := docscan.Missing(definedFlags(t), documented); missing != nil {
+		t.Errorf("flags missing from the doc comment: %v", missing)
+	}
+}
+
+// TestServingDocFlagsExist: every -flag that docs/SERVING.md attributes
+// to collserve must actually exist, so its example command lines keep
+// working.
+func TestServingDocFlagsExist(t *testing.T) {
+	doc, err := docscan.ReadFile("../../docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := docscan.DocFlags(doc, "collserve")
+	if len(claimed) == 0 {
+		t.Fatal("docs/SERVING.md no longer documents any collserve flags")
+	}
+	if missing := docscan.Missing(claimed, definedFlags(t)); missing != nil {
+		t.Errorf("docs/SERVING.md uses collserve flags that do not exist: %v", missing)
+	}
+}

@@ -142,6 +142,31 @@ func (p Program) OptimizeWith(m Machine, reg *algebra.Registry) Optimization {
 	}
 }
 
+// OptimizeVerified is Optimize followed by verification: every rule
+// application and the end-to-end equality of the original and optimized
+// program are checked under the functional semantics before the result
+// is returned. This is the plan-cache entry point of the optimization
+// service (package serve) — a cached plan is a verified plan.
+func (p Program) OptimizeVerified(m Machine, cfg rules.VerifyConfig) (Optimization, error) {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	opt, apps, err := rules.VerifyOptimization(eng, p.stages, cfg)
+	if err != nil {
+		return Optimization{}, err
+	}
+	return Optimization{
+		Program:        FromTerm(opt),
+		Applications:   apps,
+		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
+		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
+	}, nil
+}
+
+// Canonical renders the program in the stable canonical surface syntax
+// used as a plan-cache key (see rules.Canonical).
+func (p Program) Canonical() string {
+	return rules.Canonical(p.stages)
+}
+
 // OptimizeExhaustively rewrites with every applicable rule regardless of
 // the cost estimates (the purely algebraic view of §3).
 func (p Program) OptimizeExhaustively(reg *algebra.Registry, machineP int) Optimization {

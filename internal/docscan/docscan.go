@@ -1,0 +1,104 @@
+// Package docscan keeps command documentation honest: it extracts the
+// flag names a command actually defines (from its -h usage output) and
+// the flag names its documentation mentions (from doc comments and the
+// docs/ pages), so a test can fail the moment the two drift apart —
+// a flag added without documentation, or a doc example using a flag
+// that no longer exists.
+package docscan
+
+import (
+	"os"
+	"regexp"
+	"strings"
+)
+
+// usageRE matches flag.PrintDefaults output: two spaces, a dash, the
+// flag name.
+var usageRE = regexp.MustCompile(`(?m)^\s+-([a-zA-Z][a-zA-Z0-9-]*)`)
+
+// UsageFlags parses the output of a flag set's PrintDefaults (what -h
+// prints) into the set of defined flag names.
+func UsageFlags(usage string) map[string]bool {
+	flags := make(map[string]bool)
+	for _, m := range usageRE.FindAllStringSubmatch(usage, -1) {
+		flags[m[1]] = true
+	}
+	return flags
+}
+
+// tokenRE matches a -flag token in prose or a shell example: the dash
+// must open the token (start of line, whitespace, quote/backtick/paren,
+// or a slash as in "-ts/-tw") so hyphenated words like
+// "fault-injection" and arithmetic like "COUNT-1" don't count.
+var tokenRE = regexp.MustCompile("(?:^|[\\s\"'`(\\[/])-([a-zA-Z][a-zA-Z0-9-]*)")
+
+// Flags extracts every -flag token from text.
+func Flags(text string) map[string]bool {
+	flags := make(map[string]bool)
+	for _, m := range tokenRE.FindAllStringSubmatch(text, -1) {
+		flags[m[1]] = true
+	}
+	return flags
+}
+
+// DocFlags extracts the -flag tokens from the lines of doc that mention
+// cmd — the flags the documentation claims cmd has. Restricting to
+// those lines keeps a page that documents several commands (like
+// docs/TESTING.md) from attributing one command's flags to another.
+func DocFlags(doc, cmd string) map[string]bool {
+	flags := make(map[string]bool)
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.Contains(line, cmd) {
+			continue
+		}
+		for f := range Flags(line) {
+			flags[f] = true
+		}
+	}
+	return flags
+}
+
+// DocComment returns a Go file's package doc comment: the leading //
+// lines before the package clause, with the markers stripped.
+func DocComment(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if rest, ok := strings.CutPrefix(trimmed, "//"); ok {
+			b.WriteString(rest)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ReadFile is os.ReadFile returning a string; the drift tests read
+// their own main.go and the docs/ pages through it.
+func ReadFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// Missing reports the elements of want absent from have, sorted for
+// stable failure messages.
+func Missing(want, have map[string]bool) []string {
+	var missing []string
+	for f := range want {
+		if !have[f] {
+			missing = append(missing, f)
+		}
+	}
+	sortStrings(missing)
+	return missing
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

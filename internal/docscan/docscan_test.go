@@ -1,0 +1,62 @@
+package docscan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUsageFlags(t *testing.T) {
+	usage := `Usage of collx:
+  -p int
+    	number of ranks (default 8)
+  -profile string
+    	fault profile name, or "all" (default "all")
+  -v	report every run, not just failures
+`
+	got := UsageFlags(usage)
+	want := map[string]bool{"p": true, "profile": true, "v": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UsageFlags = %v, want %v", got, want)
+	}
+}
+
+func TestFlagsIgnoresHyphenatedWords(t *testing.T) {
+	text := "the fault-injection sweep: collx -trials 50 -prog \"scan(+)\" " +
+		"runs BASE..BASE+COUNT-1 seeds; override with -ts/-tw on a " +
+		"start-up-dominated network"
+	got := Flags(text)
+	want := map[string]bool{"trials": true, "prog": true, "ts": true, "tw": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Flags = %v, want %v", got, want)
+	}
+}
+
+func TestDocFlagsOnlyReadsLinesMentioningCommand(t *testing.T) {
+	doc := "run collx -trials 50 for the sweep\n" +
+		"and colly -other 3 for something else\n" +
+		"plain prose with -stray flags\n"
+	got := DocFlags(doc, "collx")
+	want := map[string]bool{"trials": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DocFlags = %v, want %v", got, want)
+	}
+}
+
+func TestDocComment(t *testing.T) {
+	src := "// Command collx does things.\n//\n//\t-p N  ranks\n\npackage main\n\nvar x = 1 // not doc\n"
+	got := DocComment(src)
+	if got != " Command collx does things.\n\n\t-p N  ranks\n" {
+		t.Errorf("DocComment = %q", got)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	want := map[string]bool{"b": true, "a": true, "c": true}
+	have := map[string]bool{"b": true}
+	if got := Missing(want, have); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Errorf("Missing = %v", got)
+	}
+	if got := Missing(have, want); got != nil {
+		t.Errorf("Missing subset = %v, want none", got)
+	}
+}

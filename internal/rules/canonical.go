@@ -1,0 +1,58 @@
+package rules
+
+import (
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Canonical renders a program in a stable canonical form of the surface
+// syntax — the form used as a plan-cache key by the optimization service
+// (package serve). Two programs have the same Canonical string exactly
+// when they are EqualTerms over the same named operators and functions,
+// regardless of the whitespace, comments or nesting of the source they
+// were parsed from.
+//
+// For every stage expressible in the lang grammar the rendering is the
+// concrete syntax the parser accepts, so parse → Canonical is a fixed
+// point: Canonical(parse(Canonical(parse(src)))) == Canonical(parse(src))
+// (property-tested in canonical_test.go). Stages outside the grammar
+// (map#, the balanced forms, comcast, iter — the rule right-hand sides)
+// fall back to their String form, which is deterministic and keyed on the
+// operator name, still a sound cache key.
+func Canonical(s term.Seq) string {
+	stages := term.Stages(s)
+	if len(stages) == 0 {
+		return "id"
+	}
+	parts := make([]string, len(stages))
+	for i, st := range stages {
+		parts[i] = canonicalStage(st)
+	}
+	return strings.Join(parts, " ; ")
+}
+
+func canonicalStage(st term.Term) string {
+	switch x := st.(type) {
+	case term.Map:
+		return "map " + x.F.Name
+	case term.Scan:
+		return "scan(" + x.Op.Name + ")"
+	case term.Reduce:
+		name := "reduce"
+		if x.All {
+			name = "allreduce"
+		}
+		if x.Balanced {
+			name += "_balanced"
+		}
+		return name + "(" + x.Op.Name + ")"
+	case term.Bcast:
+		return "bcast"
+	case term.Gather:
+		return "gather"
+	case term.Scatter:
+		return "scatter"
+	}
+	return st.String()
+}

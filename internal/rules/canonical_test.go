@@ -1,0 +1,100 @@
+package rules_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// parserSymbols is the symbol table the service and the chaos harness
+// use: the standard built-ins plus the generator's inc.
+func parserSymbols() *lang.Symbols {
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	return syms
+}
+
+// TestCanonicalParseFixedPoint is the property the plan cache relies on:
+// for every program over the generator grammar (all of which are
+// expressible in the surface syntax), parsing and canonicalizing is a
+// fixed point, and the reparsed term is structurally equal to the
+// original.
+func TestCanonicalParseFixedPoint(t *testing.T) {
+	syms := parserSymbols()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		prog := rules.RandProgram(rng, 8)
+		c1 := rules.Canonical(prog)
+		reparsed, err := lang.Parse(c1, syms)
+		if err != nil {
+			t.Fatalf("trial %d: Canonical %q does not parse: %v", trial, c1, err)
+		}
+		if !term.EqualTerms(prog, reparsed) {
+			t.Fatalf("trial %d: reparse of %q is not the original program (got %s)", trial, c1, reparsed)
+		}
+		c2 := rules.Canonical(term.Compose(reparsed))
+		if c1 != c2 {
+			t.Fatalf("trial %d: Canonical not a fixed point: %q -> %q", trial, c1, c2)
+		}
+	}
+}
+
+// TestCanonicalNormalizesSource: whitespace, comments, and newlines in
+// the source must not show in the canonical form — two spellings of the
+// same program share one cache key.
+func TestCanonicalNormalizesSource(t *testing.T) {
+	syms := parserSymbols()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bcast;scan( + )", "bcast ; scan(+)"},
+		{"  map   pair ;\n reduce(max) # trailing comment\n ; map pi_1", "map pair ; reduce(max) ; map pi_1"},
+		{"gather ; scatter", "gather ; scatter"},
+		{"allreduce(*)", "allreduce(*)"},
+		{"map inc ; scan(-)", "map inc ; scan(-)"},
+	}
+	for _, c := range cases {
+		parsed, err := lang.Parse(c.src, syms)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := rules.Canonical(term.Compose(parsed)); got != c.want {
+			t.Errorf("Canonical(parse(%q)) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+// TestCanonicalEmpty pins the rendering of the empty program (the cache
+// never stores it — the server rejects empty programs — but the function
+// must stay total and deterministic).
+func TestCanonicalEmpty(t *testing.T) {
+	if got := rules.Canonical(nil); got != "id" {
+		t.Fatalf("Canonical(nil) = %q, want \"id\"", got)
+	}
+}
+
+// TestCanonicalDistinguishesPrograms: structurally different programs
+// must not collide on one key.
+func TestCanonicalDistinguishesPrograms(t *testing.T) {
+	syms := parserSymbols()
+	progs := []string{
+		"scan(+)", "scan(*)", "reduce(+)", "allreduce(+)",
+		"bcast ; scan(+)", "scan(+) ; bcast", "map inc ; scan(+)",
+	}
+	seen := make(map[string]string)
+	for _, src := range progs {
+		parsed, err := lang.Parse(src, syms)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		key := rules.Canonical(term.Compose(parsed))
+		if prev, dup := seen[key]; dup {
+			t.Errorf("programs %q and %q collide on key %q", prev, src, key)
+		}
+		seen[key] = src
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// Cache is the concurrent sharded plan cache: canonicalized program +
+// machine parameters → optimized plan. Keys are hashed onto a
+// power-of-two number of shards, each an independently locked LRU-bounded
+// map, so concurrent requests for different programs rarely contend on
+// one mutex. A computation in flight is published as a pending entry,
+// and every concurrent request for the same key waits on it instead of
+// running the engine again (single-flight).
+type Cache struct {
+	shards []cacheShard
+	mask   uint32
+	// perShard is the LRU bound of each shard; the total capacity is
+	// perShard · len(shards).
+	perShard int
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	// lru orders ready entries front = most recently used; entries still
+	// computing are never evicted.
+	lru                                list.List
+	hits, misses, coalesced, evictions uint64
+}
+
+// cacheEntry is one slot: done is closed when plan/err are set.
+type cacheEntry struct {
+	key  string
+	done chan struct{}
+	plan Plan
+	err  error
+}
+
+// CacheStats aggregates the per-shard counters.
+type CacheStats struct {
+	// Hits counts lookups answered from a ready entry, Misses lookups
+	// that ran the compute function, Coalesced lookups that waited on a
+	// computation already in flight (single-flight sharing), Evictions
+	// ready entries dropped by the LRU bound.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	// Size is the current number of entries, Capacity the total bound,
+	// Shards the shard count.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	Shards   int `json:"shards"`
+}
+
+// HitRate is hits+coalesced over all lookups (0 when none yet).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// NewCache returns a cache bounded at capacity entries spread over
+// shards shards (rounded up to a power of two; each shard holds at least
+// one entry, so the effective capacity is max(capacity, shards)).
+func NewCache(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint32(n - 1), perShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&c.mask]
+}
+
+// GetOrCompute returns the plan for key, computing it with compute on a
+// miss. Exactly one caller runs compute per resident key; concurrent
+// callers for the same key block until it finishes and share its result
+// (cached = true for them and for every later lookup). A failed
+// computation is not cached: its waiters receive the error, and the next
+// lookup retries.
+func (c *Cache) GetOrCompute(key string, compute func() (Plan, error)) (plan Plan, cached bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.done:
+			sh.hits++
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			return e.plan, true, e.err
+		default:
+			sh.coalesced++
+			sh.mu.Unlock()
+			<-e.done
+			return e.plan, true, e.err
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	el := sh.lru.PushFront(e)
+	sh.entries[key] = el
+	sh.misses++
+	sh.evictLocked(c.perShard)
+	sh.mu.Unlock()
+
+	e.plan, e.err = compute()
+	close(e.done)
+	if e.err != nil {
+		sh.mu.Lock()
+		if cur, ok := sh.entries[key]; ok && cur == el {
+			delete(sh.entries, key)
+			sh.lru.Remove(el)
+		}
+		sh.mu.Unlock()
+	}
+	return e.plan, false, e.err
+}
+
+// evictLocked drops least-recently-used ready entries until the shard is
+// within bound. Entries still computing are skipped — they are pinned by
+// their waiters — so a shard may transiently exceed the bound while many
+// computations are in flight.
+func (sh *cacheShard) evictLocked(bound int) {
+	el := sh.lru.Back()
+	for len(sh.entries) > bound && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.done:
+			delete(sh.entries, e.key)
+			sh.lru.Remove(el)
+			sh.evictions++
+		default:
+		}
+		el = prev
+	}
+}
+
+// Len is the current number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters into one snapshot.
+func (c *Cache) Stats() CacheStats {
+	var s CacheStats
+	s.Shards = len(c.shards)
+	s.Capacity = c.perShard * len(c.shards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Coalesced += sh.coalesced
+		s.Evictions += sh.evictions
+		s.Size += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
+}

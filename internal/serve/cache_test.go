@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleFlight is the contention guarantee of the plan cache:
+// with 200 concurrent clients issuing overlapping keys, the compute
+// function runs exactly once per key — every other request either hits
+// the ready entry or waits on the in-flight computation (coalesces),
+// never duplicating the engine run.
+func TestCacheSingleFlight(t *testing.T) {
+	const (
+		clients = 200
+		keys    = 10
+	)
+	c := NewCache(1024, 8)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			key := fmt.Sprintf("key-%d", i%keys)
+			plan, _, err := c.GetOrCompute(key, func() (Plan, error) {
+				computes.Add(1)
+				// Hold the computation open so concurrent requests for
+				// the same key must coalesce rather than racing past a
+				// ready entry.
+				time.Sleep(5 * time.Millisecond)
+				return Plan{Canonical: key}, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrCompute(%q): %v", key, err)
+			}
+			if plan.Canonical != key {
+				t.Errorf("GetOrCompute(%q) returned plan for %q", key, plan.Canonical)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != keys {
+		t.Fatalf("single-flight violated: %d computes for %d distinct keys", got, keys)
+	}
+	st := c.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
+	}
+	if st.Hits+st.Coalesced != clients-keys {
+		t.Errorf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, clients-keys)
+	}
+}
+
+// TestCacheLRUBound: the cache must stay within its capacity under a
+// flood of distinct keys, evicting least-recently-used ready entries.
+func TestCacheLRUBound(t *testing.T) {
+	const capacity = 16
+	c := NewCache(capacity, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", i)
+			if _, _, err := c.GetOrCompute(key, func() (Plan, error) {
+				return Plan{Canonical: key}, nil
+			}); err != nil {
+				t.Errorf("GetOrCompute(%q): %v", key, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, bound is %d", n, capacity)
+	}
+	st := c.Stats()
+	if st.Evictions < 100-uint64(capacity) {
+		t.Errorf("evictions = %d, want >= %d", st.Evictions, 100-capacity)
+	}
+	if st.Size > st.Capacity {
+		t.Errorf("stats size %d exceeds capacity %d", st.Size, st.Capacity)
+	}
+}
+
+// TestCacheLRUOrder: touching an entry protects it from eviction; the
+// least-recently-used entry goes first.
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(2, 1) // one shard, two slots
+	put := func(key string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(key, func() (Plan, error) {
+			return Plan{Canonical: key}, nil
+		}); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+	}
+	put("a")
+	put("b")
+	put("a") // refresh a: b is now LRU
+	put("c") // evicts b
+	var recomputes atomic.Int64
+	_, cached, _ := c.GetOrCompute("a", func() (Plan, error) {
+		recomputes.Add(1)
+		return Plan{Canonical: "a"}, nil
+	})
+	if !cached || recomputes.Load() != 0 {
+		t.Fatalf("refreshed entry a was evicted (cached=%v recomputes=%d)", cached, recomputes.Load())
+	}
+	_, cached, _ = c.GetOrCompute("b", func() (Plan, error) { return Plan{Canonical: "b"}, nil })
+	if cached {
+		t.Fatal("LRU entry b should have been evicted")
+	}
+}
+
+// TestCacheErrorNotCached: a failed computation must not poison the key —
+// waiters see the error, the next lookup retries.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() (Plan, error) { return Plan{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first compute: err = %v, want boom", err)
+	}
+	plan, cached, err := c.GetOrCompute("k", func() (Plan, error) { return Plan{Canonical: "k"}, nil })
+	if err != nil || cached || plan.Canonical != "k" {
+		t.Fatalf("retry after error: plan=%+v cached=%v err=%v", plan, cached, err)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries, want 1", n)
+	}
+}
+
+// TestCacheShardRounding pins the geometry: shard counts round up to a
+// power of two and every shard holds at least one entry.
+func TestCacheShardRounding(t *testing.T) {
+	c := NewCache(10, 3)
+	if len(c.shards) != 4 {
+		t.Errorf("3 shards should round to 4, got %d", len(c.shards))
+	}
+	if c.perShard != 2 {
+		t.Errorf("perShard = %d, want 10/4 = 2", c.perShard)
+	}
+	c = NewCache(1, 16)
+	if st := c.Stats(); st.Capacity != 16 {
+		t.Errorf("tiny capacity: effective capacity = %d, want one per shard = 16", st.Capacity)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// Plan is a finished optimization: the canonical program, its optimized
+// form, the derivation summary and the cost estimates — everything a
+// response needs, plus the optimized term itself for execution (fused or
+// not). Plans are immutable once published and shared by every cache
+// hit.
+type Plan struct {
+	// Canonical is the canonicalized input program (the cache-key half).
+	Canonical string `json:"canonical"`
+	// Optimized is the canonical rendering of the optimized program.
+	Optimized string `json:"optimized"`
+	// Applications summarizes the derivation, one rule application per
+	// line ("RULE @pos: lhs  =>  rhs").
+	Applications []string `json:"applications,omitempty"`
+	// CostBefore and CostAfter are the §4 estimates at the plan's
+	// machine parameters.
+	CostBefore float64 `json:"cost_before"`
+	CostAfter  float64 `json:"cost_after"`
+	// Verified reports that every rule application and the end-to-end
+	// rewriting were checked under the functional semantics.
+	Verified bool `json:"verified"`
+
+	// Term is the optimized program term, for executing the plan; not
+	// serialized.
+	Term term.Seq `json:"-"`
+}
+
+// Planner turns program sources into verified optimized plans, memoizing
+// them in the sharded cache. It is safe for concurrent use.
+type Planner struct {
+	// Symbols resolves operator and map-function names; NewPlanner
+	// pre-loads the standard table plus the generator's inc.
+	Symbols *lang.Symbols
+	// Verify makes every computed plan pass rules.VerifyEquivalence
+	// (per application and end to end) before it is published.
+	Verify bool
+	// VerifyCfg configures the verification runs.
+	VerifyCfg rules.VerifyConfig
+	// Cache memoizes key → plan.
+	Cache *Cache
+
+	engineRuns atomic.Int64
+}
+
+// NewPlanner returns a verifying planner over a cache of the given
+// geometry.
+func NewPlanner(cacheSize, cacheShards int) *Planner {
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	return &Planner{
+		Symbols:   syms,
+		Verify:    true,
+		VerifyCfg: rules.VerifyConfig{Seed: 11, Trials: 4, Sizes: []int{1, 2, 4, 8}, BlockWords: 3, RelTol: 1e-9},
+		Cache:     NewCache(cacheSize, cacheShards),
+	}
+}
+
+// ParseProgram parses a surface-syntax program into a flattened term.
+func (pl *Planner) ParseProgram(src string) (term.Seq, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("empty program")
+	}
+	t, err := lang.Parse(src, pl.Symbols)
+	if err != nil {
+		return nil, err
+	}
+	return term.Compose(t), nil
+}
+
+// Key builds the cache key for a canonical program at machine
+// parameters: the fused and unfused paths, and every client spelling of
+// one program, converge on the same key.
+func Key(canonical string, m core.Machine) string {
+	return fmt.Sprintf("%s|ts=%g|tw=%g|p=%d|m=%d", canonical, m.Ts, m.Tw, m.P, m.M)
+}
+
+// Plan parses src and returns its optimized plan at machine m, from the
+// cache when resident (cached = true) and by one engine run otherwise.
+func (pl *Planner) Plan(src string, m core.Machine) (Plan, bool, error) {
+	t, err := pl.ParseProgram(src)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	return pl.PlanTerm(t, m)
+}
+
+// PlanTerm is Plan for an already-parsed term.
+func (pl *Planner) PlanTerm(t term.Seq, m core.Machine) (Plan, bool, error) {
+	canonical := rules.Canonical(t)
+	return pl.Cache.GetOrCompute(Key(canonical, m), func() (Plan, error) {
+		return pl.compute(t, canonical, m)
+	})
+}
+
+// compute runs the cost-guided engine (and, when Verify is set, the
+// semantic verifier) — the single-flight body behind every cache miss.
+func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine) (Plan, error) {
+	pl.engineRuns.Add(1)
+	prog := core.FromTerm(t)
+	var opt core.Optimization
+	if pl.Verify {
+		var err error
+		opt, err = prog.OptimizeVerified(m, pl.VerifyCfg)
+		if err != nil {
+			return Plan{}, fmt.Errorf("verification failed: %w", err)
+		}
+	} else {
+		opt = prog.Optimize(m)
+	}
+	optTerm := term.Compose(opt.Program.Term())
+	plan := Plan{
+		Canonical:  canonical,
+		Optimized:  rules.Canonical(optTerm),
+		CostBefore: opt.EstimateBefore,
+		CostAfter:  opt.EstimateAfter,
+		Verified:   pl.Verify,
+		Term:       optTerm,
+	}
+	for _, a := range opt.Applications {
+		plan.Applications = append(plan.Applications, a.String())
+	}
+	return plan, nil
+}
+
+// EngineRuns is the number of engine invocations so far — every cache
+// miss costs exactly one; the single-flight tests pin this.
+func (pl *Planner) EngineRuns() int64 { return pl.engineRuns.Load() }
