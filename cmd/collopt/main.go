@@ -17,11 +17,24 @@
 //	-prog P   the program; "-" reads it from stdin (alternative to the
 //	          positional argument, for shell pipelines)
 //	-all      apply every applicable rule, ignoring the cost estimates
+//	-search   optimize with the global plan search (bounded
+//	          branch-and-bound over all rule-application sequences,
+//	          never worse than greedy); when the searched plan beats the
+//	          greedy one, the derivation diff is printed
 //	-verify   check the rewriting on random inputs (default true)
 //	-rules    print the rule catalog and exit
 //	-mpi      parse the program in the paper's MPI notation
 //	-emit-mpi render the optimized program as MPI-like pseudocode
 //	-explain  render applications in the paper's rule format
+//
+//	-searchbench FILE  run the search-vs-greedy benchmark (the handcrafted
+//	                   greedy trap plus a seeded random corpus at the
+//	                   -ts/-tw/-p/-m machine), write BENCH_search.json to
+//	                   FILE and exit non-zero unless search was never
+//	                   worse, improved somewhere, and every searched plan
+//	                   verified
+//	-search-cases N    corpus size for -searchbench (default 200)
+//	-search-seed N     corpus seed for -searchbench (default 1)
 //
 //	-cpuprofile FILE / -memprofile FILE  write runtime/pprof profiles of
 //	                   the run (see docs/PERF.md)
@@ -38,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +60,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/calib"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/lang"
 	"repro/internal/prof"
 	"repro/internal/rules"
@@ -65,6 +80,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	p := fs.Int("p", 64, "number of processors")
 	m := fs.Int("m", 64, "block size in words")
 	all := fs.Bool("all", false, "apply every applicable rule, ignoring cost estimates")
+	search := fs.Bool("search", false, "optimize with the global plan search instead of the greedy engine")
+	searchBench := fs.String("searchbench", "", "run the search-vs-greedy benchmark and write BENCH_search.json to this file")
+	searchCases := fs.Int("search-cases", 200, "corpus size for -searchbench")
+	searchSeed := fs.Int64("search-seed", 1, "corpus seed for -searchbench")
 	verify := fs.Bool("verify", true, "verify the rewriting on random inputs")
 	catalog := fs.Bool("rules", false, "print the rule catalog and exit")
 	mpi := fs.Bool("mpi", false, "parse the program in the paper's MPI notation instead of the compact one")
@@ -100,6 +119,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *catalog {
 		fmt.Fprint(stdout, rules.Catalog(true))
 		return 0
+	}
+	if *searchBench != "" {
+		return runSearchBench(stdout, stderr, *searchBench, *searchSeed, *searchCases,
+			cost.Params{Ts: *ts, Tw: *tw, P: *p, M: *m})
 	}
 
 	src := ""
@@ -157,11 +180,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout)
 
 	var opt core.Optimization
-	if *all {
+	switch {
+	case *all:
 		opt = prog.OptimizeExhaustively(algebra.Default(), *p)
 		opt.EstimateBefore = prog.Estimate(mach)
 		opt.EstimateAfter = opt.Program.Estimate(mach)
-	} else {
+	case *search:
+		opt = prog.OptimizeSearch(mach, rules.SearchConfig{})
+		fmt.Fprintf(stdout, "plan search: %d nodes, %d memo hits, %d pruned, exhausted=%v\n",
+			opt.Search.Nodes, opt.Search.MemoHits, opt.Search.Pruned, opt.Search.Exhausted)
+		if opt.Search.Improved() {
+			// The derivation diff: what the greedy engine would have done
+			// and what the search found instead.
+			greedy := prog.Optimize(mach)
+			fmt.Fprintf(stdout, "search beats greedy: %.0f -> %.0f (gain %.0f)\n",
+				greedy.EstimateAfter, opt.Search.BestCost, greedy.EstimateAfter-opt.Search.BestCost)
+			fmt.Fprintln(stdout, "greedy derivation (forfeited):")
+			for _, a := range greedy.Applications {
+				fmt.Fprintf(stdout, "  - %s\n", a)
+			}
+			fmt.Fprintf(stdout, "  = %s\n", greedy.Program)
+			fmt.Fprintln(stdout, "search derivation (taken):")
+			for _, a := range opt.Applications {
+				fmt.Fprintf(stdout, "  + %s\n", a)
+			}
+			fmt.Fprintf(stdout, "  = %s\n", opt.Program)
+		} else {
+			fmt.Fprintln(stdout, "search agrees with the greedy plan")
+		}
+		fmt.Fprintln(stdout)
+	default:
 		opt = prog.Optimize(mach)
 	}
 	if len(opt.Applications) == 0 {
@@ -197,6 +245,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "verified:  original and optimized programs agree on random inputs")
+	}
+	return 0
+}
+
+// runSearchBench is the -searchbench mode: run the corpus, write the
+// report, print the summary, and fail unless search was never worse,
+// improved somewhere, and every searched plan verified.
+func runSearchBench(stdout, stderr io.Writer, path string, seed int64, cases int, p cost.Params) int {
+	rep, benchErr := rules.RunSearchBench(seed, cases, p, rules.SearchConfig{})
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "collopt: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "collopt: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "search bench: %d cases at ts=%g tw=%g p=%d m=%d (seed %d)\n",
+		rep.Cases, p.Ts, p.Tw, p.P, p.M, seed)
+	fmt.Fprintf(stdout, "  improved %d/%d  never-worse=%v  all-verified=%v\n",
+		rep.Improved, rep.Cases, rep.NeverWorse, rep.AllVerified)
+	fmt.Fprintf(stdout, "  max gain %.0f  total gain %.0f  mean gain %.2f%% (improved cases)\n",
+		rep.MaxGain, rep.TotalGain, rep.MeanGainPct)
+	fmt.Fprintf(stdout, "  mean plan latency: greedy %.0fµs, search %.0fµs\n",
+		rep.MeanGreedyMicros, rep.MeanSearchMicros)
+	fmt.Fprintf(stdout, "  report written to %s\n", path)
+	if benchErr != nil {
+		fmt.Fprintf(stderr, "collopt: searchbench: %v\n", benchErr)
+		return 1
 	}
 	return 0
 }

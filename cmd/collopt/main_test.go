@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/calib"
+	"repro/internal/rules"
 )
 
 func runOpt(t *testing.T, args ...string) (string, string, int) {
@@ -243,5 +246,63 @@ func TestParamsFileDrivesOptimizer(t *testing.T) {
 	if _, errb, code := runOpt(t, "-params-file", "/nonexistent.json", "scan(+)"); code != 1 ||
 		!strings.Contains(errb, "collopt:") {
 		t.Fatalf("missing params file: exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestSearchFlagBeatsGreedyOnTrap(t *testing.T) {
+	out, _, code := runOpt(t, "-search", "scan(*) ; scan(+) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"plan search:",
+		"search beats greedy:",
+		"greedy derivation (forfeited):",
+		"- SS2-Scan @0",
+		"search derivation (taken):",
+		"+ SR-Reduction @1",
+		"optimized: scan(*) ; map pair ; reduce_balanced(op_sr(+)) ; map pi_1",
+		"verified:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSearchFlagAgreesOnTie(t *testing.T) {
+	out, _, code := runOpt(t, "-search", "scan(+) ; reduce(+)")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "search agrees with the greedy plan") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSearchBenchFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	out, errb, code := runOpt(t, "-searchbench", path, "-search-cases", "25")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{"never-worse=true", "all-verified=true", "improved 1/26"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep rules.SearchBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Cases != 26 || !rep.NeverWorse || !rep.AllVerified || rep.Improved < 1 {
+		t.Fatalf("report summary off: %+v", rep)
+	}
+	if rep.Corpus[0].SearchDerivation == nil {
+		t.Fatal("the trap's improving derivation must be recorded in the report")
 	}
 }

@@ -45,6 +45,9 @@
 //	-distinct N         program-pool size of the repeated phase
 //	-fusible N          extra fuse-enabled requests (0 skips the phase)
 //	-seed N             workload seed
+//	-strategy S         optimization strategy sent with every request:
+//	                    "greedy" (default) or "search" for the global
+//	                    plan search
 //	-json FILE          write the machine-readable report here
 //	-min-hit-rate F     fail (exit 1) if the repeated phase's cache hit
 //	                    rate is below F
@@ -99,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		distinct   = fs.Int("distinct", 500, "loadgen: program-pool size of the repeated phase")
 		fusible    = fs.Int("fusible", 0, "loadgen: extra fuse-enabled requests (0 skips the fusion phase)")
 		seed       = fs.Int64("seed", 1, "loadgen: workload seed")
+		strategy   = fs.String("strategy", "", `loadgen: optimization strategy per request ("greedy" or "search")`)
 		jsonOut    = fs.String("json", "", "loadgen: write the machine-readable report to this file")
 		minHitRate = fs.Float64("min-hit-rate", 0, "loadgen: fail if the repeated phase's hit rate is below this")
 	)
@@ -111,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *loadgen {
+		if _, err := serve.ParseStrategy(*strategy); err != nil {
+			fmt.Fprintf(stderr, "collserve: %v\n", err)
+			return 2
+		}
 		return runLoadgen(serve.LoadConfig{
 			Target:   *target,
 			Requests: *requests,
@@ -120,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Seed:     *seed,
 			P:        *p,
 			M:        *m,
+			Strategy: *strategy,
 			Out:      stdout,
 		}, *jsonOut, *minHitRate, stdout, stderr)
 	}

@@ -108,6 +108,9 @@ type Optimization struct {
 	// EstimateBefore and EstimateAfter are cost estimates of the whole
 	// program on the target machine.
 	EstimateBefore, EstimateAfter float64
+	// Search carries the plan-search statistics when the optimization was
+	// produced by OptimizeSearch/OptimizeSearchVerified; nil for greedy.
+	Search *rules.SearchStats
 }
 
 // Summary renders the optimization as a short report.
@@ -158,6 +161,44 @@ func (p Program) OptimizeVerified(m Machine, cfg rules.VerifyConfig) (Optimizati
 		Applications:   apps,
 		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
 		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
+	}, nil
+}
+
+// OptimizeSearch rewrites the program with the global plan search
+// (rules.SearchOptimize): a bounded branch-and-bound exploration of all
+// rule-application sequences scored by the end-to-end cost estimate,
+// never worse than the greedy Optimize and strictly better where the
+// greedy window heuristic forfeits a cheaper derivation downstream. The
+// zero SearchConfig selects the default budgets.
+func (p Program) OptimizeSearch(m Machine, scfg rules.SearchConfig) Optimization {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	opt, apps, stats := eng.SearchOptimize(p.stages, scfg)
+	return Optimization{
+		Program:        FromTerm(opt),
+		Applications:   apps,
+		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
+		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
+		Search:         &stats,
+	}
+}
+
+// OptimizeSearchVerified is OptimizeSearch followed by verification of
+// every rule application of the winning derivation and of the end-to-end
+// equality of the original and optimized program — the searched
+// counterpart of OptimizeVerified, and the plan-cache entry point for
+// the search strategy (package serve).
+func (p Program) OptimizeSearchVerified(m Machine, cfg rules.VerifyConfig, scfg rules.SearchConfig) (Optimization, error) {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	opt, apps, stats, err := rules.VerifySearchOptimization(eng, p.stages, cfg, scfg)
+	if err != nil {
+		return Optimization{}, err
+	}
+	return Optimization{
+		Program:        FromTerm(opt),
+		Applications:   apps,
+		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
+		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
+		Search:         &stats,
 	}, nil
 }
 

@@ -62,61 +62,126 @@ func Scan(p Params) float64 {
 // reduction phase cost ts + a·m·tw + c·m and a scan phase
 // ts + a·m·tw + 2·c·m. Local stages cost their per-element count times m,
 // without the log p factor; duplication and projection are free (§4.2).
+//
+// The per-processor block size is tracked through the redistribution
+// stages: a gather leaves the root with a p·m-word block and a scatter
+// hands each processor a 1/p share of the root's block, so the stages in
+// between are charged at the block size they actually see rather than at
+// the global Params.M. For programs without redistribution (all of the
+// paper's rules) the estimate is unchanged.
 func OfTerm(t term.Term, p Params) float64 {
-	total := 0.0
-	for _, stage := range term.Stages(t) {
-		total += ofStage(stage, p)
-	}
+	total, _ := ofStages(t, p, p.m())
 	return total
 }
 
-func ofStage(t term.Term, p Params) float64 {
+// ofStages walks the stages of t threading the current per-processor
+// block size b, and returns the accumulated cost and the block size
+// after the last stage.
+func ofStages(t term.Term, p Params, b float64) (float64, float64) {
+	total := 0.0
+	for _, stage := range term.Stages(t) {
+		var c float64
+		c, b = ofStage(stage, p, b)
+		total += c
+	}
+	return total, b
+}
+
+// ofStage estimates one stage at per-processor block size b and returns
+// its cost together with the block size downstream stages see.
+func ofStage(t term.Term, p Params, b float64) (float64, float64) {
 	logp := p.LogP()
-	m := p.m()
 	switch s := t.(type) {
 	case term.Map:
-		return float64(s.F.Cost) * m
+		return float64(s.F.Cost) * b, b
 	case term.MapIdx:
 		// The worst processor (rank p-1, all binary digits one for the
 		// repeat schema) bounds the makespan.
 		if s.F.Charge == nil {
-			return 0
+			return 0, b
 		}
-		return s.F.Charge(p.P-1, p.M)
+		return s.F.Charge(p.P-1, int(b)), b
 	case term.Bcast:
-		return Bcast(p)
-	case term.Gather, term.Scatter:
+		return logp * (p.Ts + b*p.Tw), b
+	case term.Gather:
 		// Binomial tree shipping half the remaining data per phase:
-		// log p start-ups and about p·m words through the root's link.
-		return p.LogP()*p.Ts + float64(p.P)*p.m()*p.Tw
+		// log p start-ups and about p·b words through the root's link;
+		// the root ends up holding all p blocks.
+		return logp*p.Ts + float64(p.P)*b*p.Tw, b * float64(p.P)
+	case term.Scatter:
+		// The mirror image: the root's b-word block leaves through its
+		// link and every processor keeps a 1/p share.
+		return logp*p.Ts + b*p.Tw, b / float64(p.P)
 	case term.Scan:
 		a := float64(s.Op.Arity)
 		c := float64(s.Op.Cost)
-		return logp * (p.Ts + a*m*p.Tw + 2*c*m)
+		return logp * (p.Ts + a*b*p.Tw + 2*c*b), b
 	case term.ScanBal:
 		ship := float64(s.Op.ShipWidth)
 		c := float64(s.Op.CostHi)
-		return logp * (p.Ts + ship*m*p.Tw + c*m)
+		return logp * (p.Ts + ship*b*p.Tw + c*b), b
 	case term.Reduce:
 		a := float64(s.Op.Arity)
 		c := float64(s.Op.Cost)
-		return logp * (p.Ts + a*m*p.Tw + c*m)
+		return logp * (p.Ts + a*b*p.Tw + c*b), b
 	case term.Comcast:
 		if s.CostOptimal {
 			// log p rounds, each shipping the whole working tuple and
 			// computing both e and o on the critical path.
 			a := float64(s.Ops.Arity)
 			eo := float64(s.Ops.CostE + s.Ops.CostO)
-			return logp * (p.Ts + a*m*p.Tw + eo*m)
+			return logp * (p.Ts + a*b*p.Tw + eo*b), b
 		}
 		// bcast + local repeat; the worst processor applies o each phase.
-		return Bcast(p) + logp*float64(s.Ops.CostO)*m
+		return logp*(p.Ts+b*p.Tw) + logp*float64(s.Ops.CostO)*b, b
 	case term.Iter:
-		return logp * float64(s.Op.Cost) * m
+		return logp * float64(s.Op.Cost) * b, b
 	case term.Seq:
-		return OfTerm(s, p)
+		return ofStages(s, p, b)
 	}
-	return 0
+	return 0, b
+}
+
+// Floor is an admissible lower bound on the cost of every term reachable
+// from t by the optimization rules, used to prune the plan search
+// (rules.SearchOptimize). The rules rewrite only scans, unbalanced
+// reductions, broadcasts, maps and gather/scatter pairs; the derived
+// stages they produce — map#, iter, scan_balanced, balanced reductions,
+// comcast — match no rule pattern, local work is never discarded (maps
+// are only moved or fused, preserving their total cost), and the
+// removable gather;scatter round trips are block-neutral. The cost of
+// those surviving stages, charged at their tracked block sizes, is
+// therefore a floor under every derivation.
+func Floor(t term.Term, p Params) float64 {
+	total, _ := floorStages(t, p, p.m())
+	return total
+}
+
+func floorStages(t term.Term, p Params, b float64) (float64, float64) {
+	total := 0.0
+	for _, stage := range term.Stages(t) {
+		switch s := stage.(type) {
+		case term.Seq:
+			var c float64
+			c, b = floorStages(s, p, b)
+			total += c
+		case term.Gather, term.Scatter:
+			// Removable (GS-Id/SG-Id): contributes nothing to the floor,
+			// but still reshapes the block for the stages after it.
+			_, b = ofStage(stage, p, b)
+		case term.Map, term.MapIdx, term.Iter, term.ScanBal, term.Comcast:
+			var c float64
+			c, b = ofStage(stage, p, b)
+			total += c
+		case term.Reduce:
+			if s.Balanced {
+				var c float64
+				c, b = ofStage(stage, p, b)
+				total += c
+			}
+		}
+	}
+	return total, b
 }
 
 // lin is a linear form a·ts + b·m·tw + c·m (all per log p), the shape of

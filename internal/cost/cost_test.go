@@ -278,3 +278,46 @@ func TestLookupMissing(t *testing.T) {
 		t.Fatal("Lookup found a nonexistent rule")
 	}
 }
+
+// TestOfTermTracksBlockSize: the estimator threads the per-processor
+// block size through redistribution stages instead of charging the
+// global Params.M everywhere. A gather leaves the root holding p·m
+// words, a scatter hands back a 1/p share, and the stages in between
+// are charged at the block they actually see.
+func TestOfTermTracksBlockSize(t *testing.T) {
+	p := params(100, 2, 16, 8)
+	logp, m, pp := p.LogP(), p.m(), float64(p.P)
+
+	// A gather;scatter round trip is charged exactly as before the
+	// block tracking: p·m words through the root's link each way.
+	pair := term.Seq{term.Gather{}, term.Scatter{}}
+	if got, want := OfTerm(pair, p), 2*(logp*p.Ts+pp*m*p.Tw); got != want {
+		t.Errorf("OfTerm(gather;scatter) = %g, want %g", got, want)
+	}
+
+	// A broadcast between gather and scatter ships the root's fused
+	// p·m-word block, not m words.
+	seq := term.Seq{term.Gather{}, term.Bcast{}, term.Scatter{}}
+	want := (logp*p.Ts + pp*m*p.Tw) + // gather at block m
+		logp*(p.Ts+pp*m*p.Tw) + // bcast at block p·m
+		(logp*p.Ts + pp*m*p.Tw) // scatter of the p·m-word block
+	if got := OfTerm(seq, p); got != want {
+		t.Errorf("OfTerm(gather;bcast;scatter) = %g, want %g", got, want)
+	}
+
+	// A scan after a bare scatter works on m/p-word blocks.
+	seq = term.Seq{term.Scatter{}, term.Scan{Op: algebra.Add}}
+	small := m / pp
+	want = (logp*p.Ts + m*p.Tw) + logp*(p.Ts+small*p.Tw+2*small)
+	if got := OfTerm(seq, p); got != want {
+		t.Errorf("OfTerm(scatter;scan) = %g, want %g", got, want)
+	}
+
+	// Local stages scale with the tracked block too.
+	f := &term.Fn{Name: "f", Cost: 3}
+	seq = term.Seq{term.Gather{}, term.Map{F: f}, term.Scatter{}}
+	want = (logp*p.Ts + pp*m*p.Tw) + 3*pp*m + (logp*p.Ts + pp*m*p.Tw)
+	if got := OfTerm(seq, p); got != want {
+		t.Errorf("OfTerm(gather;map;scatter) = %g, want %g", got, want)
+	}
+}

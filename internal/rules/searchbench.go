@@ -1,0 +1,174 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/term"
+)
+
+// This file is the search-vs-greedy benchmark behind collopt -searchbench
+// and the committed BENCH_search.json artifact: a seeded RandProgram
+// corpus (plus the handcrafted greedy-trap counterexample) optimized by
+// both strategies, recording plan quality (end-to-end cost estimates and
+// the searched gain) against plan-production latency, with every searched
+// plan verified under the functional semantics.
+
+// SearchBenchCase is one corpus program's measurement.
+type SearchBenchCase struct {
+	// Program is the canonical input program.
+	Program string `json:"program"`
+	// GreedyCost and SearchCost are the end-to-end estimates of the two
+	// plans; Gain is their difference (>= 0 always).
+	GreedyCost float64 `json:"greedy_cost"`
+	SearchCost float64 `json:"search_cost"`
+	Gain       float64 `json:"gain"`
+	// GreedyMicros and SearchMicros are the plan-production latencies.
+	GreedyMicros float64 `json:"greedy_us"`
+	SearchMicros float64 `json:"search_us"`
+	// Nodes, Pruned and Exhausted summarize the search run.
+	Nodes     int  `json:"nodes"`
+	Pruned    int  `json:"pruned"`
+	Exhausted bool `json:"exhausted"`
+	// Verified reports that the searched plan passed VerifyEquivalence.
+	Verified bool `json:"verified"`
+	// GreedyPlan/SearchPlan and the derivations are recorded only where
+	// search improved on greedy — the committed counterexamples.
+	GreedyPlan       string   `json:"greedy_plan,omitempty"`
+	SearchPlan       string   `json:"search_plan,omitempty"`
+	GreedyDerivation []string `json:"greedy_derivation,omitempty"`
+	SearchDerivation []string `json:"search_derivation,omitempty"`
+}
+
+// SearchBenchReport is the BENCH_search.json document.
+type SearchBenchReport struct {
+	Seed    int64       `json:"seed"`
+	Machine cost.Params `json:"machine"`
+	// Cases is the corpus size (including the handcrafted trap).
+	Cases int `json:"cases"`
+	// Improved counts programs where search beat greedy strictly;
+	// NeverWorse asserts SearchCost <= GreedyCost held on every case.
+	Improved   int  `json:"improved"`
+	NeverWorse bool `json:"never_worse"`
+	// AllVerified asserts every searched plan passed VerifyEquivalence.
+	AllVerified bool `json:"all_verified"`
+	// MaxGain and TotalGain aggregate the plan-quality improvement;
+	// MeanGainPct is the mean relative improvement over improved cases.
+	MaxGain     float64 `json:"max_gain"`
+	TotalGain   float64 `json:"total_gain"`
+	MeanGainPct float64 `json:"mean_gain_pct"`
+	// MeanGreedyMicros/MeanSearchMicros are the mean plan latencies: the
+	// price of the search in plan-production time.
+	MeanGreedyMicros float64           `json:"mean_greedy_us"`
+	MeanSearchMicros float64           `json:"mean_search_us"`
+	Corpus           []SearchBenchCase `json:"corpus"`
+}
+
+// SearchBenchTrap is the handcrafted counterexample the benchmark always
+// includes: the greedy engine fuses the two scans (SS2-Scan) and forfeits
+// the cheaper scan-reduce fusion (SR-Reduction) — see docs/RULES.md.
+func SearchBenchTrap() term.Seq {
+	return term.Seq{
+		term.Scan{Op: algebra.Mul},
+		term.Scan{Op: algebra.Add},
+		term.Reduce{Op: algebra.Add},
+	}
+}
+
+// RunSearchBench optimizes the trap plus cases seeded random programs
+// with both strategies at machine p and assembles the report. The error
+// is non-nil if any searched plan fails verification or costs more than
+// the greedy plan — the conditions CI asserts.
+func RunSearchBench(seed int64, cases int, p cost.Params, scfg SearchConfig) (SearchBenchReport, error) {
+	e := NewCostGuidedEngine(p)
+	rng := rand.New(rand.NewSource(seed))
+
+	corpus := []term.Seq{SearchBenchTrap()}
+	for i := 0; i < cases; i++ {
+		corpus = append(corpus, RandProgram(rng, 6))
+	}
+
+	rep := SearchBenchReport{
+		Seed:        seed,
+		Machine:     p,
+		Cases:       len(corpus),
+		NeverWorse:  true,
+		AllVerified: true,
+	}
+	var firstErr error
+	var sumGreedyUS, sumSearchUS, sumGainPct float64
+	for i, prog := range corpus {
+		t0 := time.Now()
+		greedyT, greedyApps := e.Optimize(prog)
+		greedyUS := float64(time.Since(t0).Microseconds())
+
+		t0 = time.Now()
+		opt, apps, stats := e.SearchOptimize(prog, scfg)
+		searchUS := float64(time.Since(t0).Microseconds())
+
+		c := SearchBenchCase{
+			Program:      Canonical(prog),
+			GreedyCost:   stats.GreedyCost,
+			SearchCost:   stats.BestCost,
+			Gain:         stats.GreedyCost - stats.BestCost,
+			GreedyMicros: greedyUS,
+			SearchMicros: searchUS,
+			Nodes:        stats.Nodes,
+			Pruned:       stats.Pruned,
+			Exhausted:    stats.Exhausted,
+		}
+		cfg := VerifyConfig{Seed: seed + int64(i), Trials: 2, Sizes: []int{1, 2, 4, 8}, BlockWords: 3, RelTol: 1e-9}
+		for _, a := range apps {
+			if r, ok := ByName(a.Rule); ok && r.Class == "Local" {
+				cfg.Pow2Only = true
+				cfg.Sizes = nil
+			}
+		}
+		err := VerifyEquivalence(prog, opt, cfg)
+		c.Verified = err == nil
+		if err != nil {
+			rep.AllVerified = false
+			if firstErr == nil {
+				firstErr = fmt.Errorf("case %d (%s): verification failed: %w", i, c.Program, err)
+			}
+		}
+		if c.Gain < 0 {
+			rep.NeverWorse = false
+			if firstErr == nil {
+				firstErr = fmt.Errorf("case %d (%s): search plan %g worse than greedy %g", i, c.Program, c.SearchCost, c.GreedyCost)
+			}
+		}
+		if stats.Improved() {
+			rep.Improved++
+			sumGainPct += 100 * c.Gain / c.GreedyCost
+			c.GreedyPlan = Canonical(term.Compose(greedyT))
+			c.SearchPlan = Canonical(term.Compose(opt))
+			for _, a := range greedyApps {
+				c.GreedyDerivation = append(c.GreedyDerivation, a.String())
+			}
+			for _, a := range apps {
+				c.SearchDerivation = append(c.SearchDerivation, a.String())
+			}
+			if c.Gain > rep.MaxGain {
+				rep.MaxGain = c.Gain
+			}
+		}
+		rep.TotalGain += c.Gain
+		sumGreedyUS += greedyUS
+		sumSearchUS += searchUS
+		rep.Corpus = append(rep.Corpus, c)
+	}
+	n := float64(len(corpus))
+	rep.MeanGreedyMicros = sumGreedyUS / n
+	rep.MeanSearchMicros = sumSearchUS / n
+	if rep.Improved > 0 {
+		rep.MeanGainPct = sumGainPct / float64(rep.Improved)
+	}
+	if rep.Improved == 0 && firstErr == nil {
+		firstErr = fmt.Errorf("no strict improvement anywhere in the %d-case corpus", len(corpus))
+	}
+	return rep, firstErr
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"hash/fnv"
 	"sync"
 )
@@ -65,8 +66,10 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // NewCache returns a cache bounded at capacity entries spread over
-// shards shards (rounded up to a power of two; each shard holds at least
-// one entry, so the effective capacity is max(capacity, shards)).
+// shards shards (rounded up to a power of two). The per-shard bound is
+// the ceiling of capacity/shards — never its floor, so the cache holds
+// at least capacity entries; each shard holds at least one entry, so the
+// effective capacity is at least max(capacity, shards).
 func NewCache(capacity, shards int) *Cache {
 	if shards < 1 {
 		shards = 1
@@ -75,7 +78,7 @@ func NewCache(capacity, shards int) *Cache {
 	for n < shards {
 		n <<= 1
 	}
-	per := capacity / n
+	per := (capacity + n - 1) / n
 	if per < 1 {
 		per = 1
 	}
@@ -95,9 +98,10 @@ func (c *Cache) shard(key string) *cacheShard {
 // GetOrCompute returns the plan for key, computing it with compute on a
 // miss. Exactly one caller runs compute per resident key; concurrent
 // callers for the same key block until it finishes and share its result
-// (cached = true for them and for every later lookup). A failed
-// computation is not cached: its waiters receive the error, and the next
-// lookup retries.
+// (cached = true for them and for every later lookup, and the shared hit
+// refreshes the entry's LRU recency). A failed or panicking computation
+// is not cached: its waiters receive the error with cached = false, the
+// entry is removed, and the next lookup retries.
 func (c *Cache) GetOrCompute(key string, compute func() (Plan, error)) (plan Plan, cached bool, err error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
@@ -105,15 +109,32 @@ func (c *Cache) GetOrCompute(key string, compute func() (Plan, error)) (plan Pla
 		e := el.Value.(*cacheEntry)
 		select {
 		case <-e.done:
+			if e.err != nil {
+				// A failed computation observed before its cleanup ran:
+				// shared like a coalesced wait, but not a hit.
+				sh.coalesced++
+				sh.mu.Unlock()
+				return e.plan, false, e.err
+			}
 			sh.hits++
 			sh.lru.MoveToFront(el)
 			sh.mu.Unlock()
-			return e.plan, true, e.err
+			return e.plan, true, nil
 		default:
 			sh.coalesced++
 			sh.mu.Unlock()
 			<-e.done
-			return e.plan, true, e.err
+			if e.err != nil {
+				return e.plan, false, e.err
+			}
+			// The awaited plan is as recently used as a plain hit's: keep
+			// hot keys computed under contention at the front of the LRU.
+			sh.mu.Lock()
+			if cur, ok := sh.entries[key]; ok && cur == el {
+				sh.lru.MoveToFront(el)
+			}
+			sh.mu.Unlock()
+			return e.plan, true, nil
 		}
 	}
 	e := &cacheEntry{key: key, done: make(chan struct{})}
@@ -123,7 +144,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (Plan, error)) (plan Pla
 	sh.evictLocked(c.perShard)
 	sh.mu.Unlock()
 
-	e.plan, e.err = compute()
+	e.plan, e.err = runCompute(compute)
 	close(e.done)
 	if e.err != nil {
 		sh.mu.Lock()
@@ -134,6 +155,19 @@ func (c *Cache) GetOrCompute(key string, compute func() (Plan, error)) (plan Pla
 		sh.mu.Unlock()
 	}
 	return e.plan, false, e.err
+}
+
+// runCompute runs the compute function, converting a panic into an error
+// result. Without this, a panicking compute would unwind past the
+// close(done) and leave every coalesced waiter for the key blocked
+// forever on a pending entry the LRU can never evict.
+func runCompute(compute func() (Plan, error)) (plan Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = Plan{}, fmt.Errorf("plan computation panicked: %v", r)
+		}
+	}()
+	return compute()
 }
 
 // evictLocked drops least-recently-used ready entries until the shard is

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -138,17 +139,196 @@ func TestCacheErrorNotCached(t *testing.T) {
 }
 
 // TestCacheShardRounding pins the geometry: shard counts round up to a
-// power of two and every shard holds at least one entry.
+// power of two, the per-shard bound is the ceiling of capacity/shards —
+// so the effective capacity is never below the requested one — and every
+// shard holds at least one entry.
 func TestCacheShardRounding(t *testing.T) {
-	c := NewCache(10, 3)
-	if len(c.shards) != 4 {
-		t.Errorf("3 shards should round to 4, got %d", len(c.shards))
+	cases := []struct {
+		capacity, shards  int
+		wantShards, perSh int
+	}{
+		{10, 3, 4, 3},  // non-pow2 shards, non-divisible: ceil(10/4)
+		{10, 4, 4, 3},  // the documented bug: floor gave 8 < 10
+		{16, 4, 4, 4},  // divisible: exact
+		{7, 1, 1, 7},   // single shard
+		{1, 16, 16, 1}, // capacity below shard count: one per shard
+		{5, 8, 8, 1},   // ceil(5/8) < 1 clamps to 1
 	}
-	if c.perShard != 2 {
-		t.Errorf("perShard = %d, want 10/4 = 2", c.perShard)
+	for _, tc := range cases {
+		c := NewCache(tc.capacity, tc.shards)
+		if len(c.shards) != tc.wantShards {
+			t.Errorf("NewCache(%d, %d): shards = %d, want %d", tc.capacity, tc.shards, len(c.shards), tc.wantShards)
+		}
+		if c.perShard != tc.perSh {
+			t.Errorf("NewCache(%d, %d): perShard = %d, want %d", tc.capacity, tc.shards, c.perShard, tc.perSh)
+		}
+		if st := c.Stats(); st.Capacity < tc.capacity {
+			t.Errorf("NewCache(%d, %d): effective capacity %d below requested %d", tc.capacity, tc.shards, st.Capacity, tc.capacity)
+		}
 	}
-	c = NewCache(1, 16)
-	if st := c.Stats(); st.Capacity != 16 {
-		t.Errorf("tiny capacity: effective capacity = %d, want one per shard = 16", st.Capacity)
+}
+
+// TestCachePanickingCompute: a panicking compute must not deadlock its
+// coalesced waiters or pin the pending entry — the panic converts to an
+// error result, done is closed, the entry is removed, and the next
+// lookup retries. Run under -race in CI with concurrent waiters.
+func TestCachePanickingCompute(t *testing.T) {
+	c := NewCache(8, 1)
+	const waiters = 8
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	cacheds := make([]bool, waiters)
+	primary := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute("k", func() (Plan, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+		primary <- err
+	}()
+	<-entered // the computation is in flight: everyone below coalesces
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, cacheds[i], errs[i] = c.GetOrCompute("k", func() (Plan, error) {
+				t.Error("waiter must coalesce, not compute")
+				return Plan{}, nil
+			})
+		}(i)
 	}
+	// Give the waiters time to reach the coalesced wait, then let the
+	// compute panic. If the panic escapes GetOrCompute or skips the
+	// close(done), this test deadlocks (caught by the test timeout).
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if err := <-primary; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("primary caller error = %v, want panic converted to error", err)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "panicked") {
+			t.Errorf("waiter %d error = %v, want the panic error", i, errs[i])
+		}
+		if cacheds[i] {
+			t.Errorf("waiter %d reported cached=true for a failed computation", i)
+		}
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed entry still resident: Len = %d", n)
+	}
+	plan, cached, err := c.GetOrCompute("k", func() (Plan, error) { return Plan{Canonical: "k"}, nil })
+	if err != nil || cached || plan.Canonical != "k" {
+		t.Fatalf("retry after panic: plan=%+v cached=%v err=%v", plan, cached, err)
+	}
+}
+
+// TestCacheCoalescedRecency: a coalesced wait is a use — it must refresh
+// the entry's LRU position like a plain hit does, or hot keys computed
+// under contention are evicted immediately.
+func TestCacheCoalescedRecency(t *testing.T) {
+	c := NewCache(2, 1) // one shard, two slots
+	put := func(key string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(key, func() (Plan, error) {
+			return Plan{Canonical: key}, nil
+		}); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.GetOrCompute("a", func() (Plan, error) {
+			close(entered)
+			<-release
+			return Plan{Canonical: "a"}, nil
+		})
+	}()
+	<-entered
+
+	joined := make(chan struct{})
+	waited := make(chan bool, 1)
+	go func() {
+		close(joined)
+		_, cached, err := c.GetOrCompute("a", func() (Plan, error) {
+			t.Error("waiter must coalesce, not compute")
+			return Plan{}, nil
+		})
+		if err != nil {
+			t.Errorf("coalesced wait: %v", err)
+		}
+		waited <- cached
+	}()
+	<-joined
+	time.Sleep(10 * time.Millisecond) // the waiter is parked on e.done
+
+	// While "a" computes (pinned, unevictable), fill the shard: "b" then
+	// "c" leaves ["c", pending "a"] with "b" evicted.
+	put("b")
+	put("c")
+
+	// Finish "a"; the coalesced waiter's join must move "a" in front of
+	// "c".
+	close(release)
+	if cached := <-waited; !cached {
+		t.Fatal("coalesced waiter must report cached=true on success")
+	}
+
+	// One more insert evicts the LRU entry — which must now be "c", not
+	// the just-shared "a".
+	put("d")
+	var recomputes atomic.Int64
+	_, cached, _ := c.GetOrCompute("a", func() (Plan, error) {
+		recomputes.Add(1)
+		return Plan{Canonical: "a"}, nil
+	})
+	if !cached || recomputes.Load() != 0 {
+		t.Fatalf("coalesced-shared entry a was evicted (cached=%v recomputes=%d)", cached, recomputes.Load())
+	}
+	_, cached, _ = c.GetOrCompute("c", func() (Plan, error) { return Plan{Canonical: "c"}, nil })
+	if cached {
+		t.Fatal("entry c should have been the eviction victim")
+	}
+}
+
+// TestCacheCoalescedErrorNotCached: a waiter sharing a failed computation
+// must report cached=false — error responses must not inflate the hit
+// rate's numerator disguised as successful cache traffic.
+func TestCacheCoalescedErrorNotCached(t *testing.T) {
+	c := NewCache(8, 1)
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.GetOrCompute("k", func() (Plan, error) {
+			close(entered)
+			<-release
+			return Plan{}, boom
+		})
+	}()
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, cached, err := c.GetOrCompute("k", func() (Plan, error) {
+			t.Error("waiter must coalesce, not compute")
+			return Plan{}, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("coalesced waiter err = %v, want boom", err)
+		}
+		if cached {
+			t.Error("coalesced waiter reported cached=true for a failed computation")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
 }

@@ -83,6 +83,7 @@ type fusionBatch struct {
 	canonical string
 	t         term.Seq
 	mach      core.Machine // member machine; M is per-member, fused on flush
+	strat     Strategy
 	members   []*fusionMember
 	words     int
 	timer     *time.Timer
@@ -113,25 +114,26 @@ func NewFuser(pl *Planner, cycle time.Duration, maxCount, maxBytes int) *Fuser {
 }
 
 // fusionKey groups compatible requests: everything the plan key has
-// except the block size, which the batch sums.
-func fusionKey(canonical string, m core.Machine) string {
+// except the block size, which the batch sums. The strategy is part of
+// the key — a greedy and a searched request never share a batch.
+func fusionKey(canonical string, m core.Machine, strat Strategy) string {
 	mm := m
 	mm.M = 0
-	return Key(canonical, mm)
+	return KeyStrategy(canonical, mm, strat)
 }
 
 // Submit enrolls one request in the fusion window and blocks until its
 // batch flushes, returning the shared plan, whether it came from the
 // cache, and the member's FusionInfo. The caller has already checked
 // Fusible.
-func (f *Fuser) Submit(t term.Seq, canonical string, mach core.Machine) (Plan, bool, FusionInfo, error) {
-	key := fusionKey(canonical, mach)
+func (f *Fuser) Submit(t term.Seq, canonical string, mach core.Machine, strat Strategy) (Plan, bool, FusionInfo, error) {
+	key := fusionKey(canonical, mach, strat)
 	mem := &fusionMember{m: mach.M, ch: make(chan fusionResult, 1)}
 
 	f.mu.Lock()
 	b := f.pending[key]
 	if b == nil {
-		b = &fusionBatch{canonical: canonical, t: t, mach: mach}
+		b = &fusionBatch{canonical: canonical, t: t, mach: mach, strat: strat}
 		f.pending[key] = b
 		b.timer = time.AfterFunc(f.Cycle, func() { f.flushExpired(key, b) })
 	}
@@ -174,7 +176,7 @@ func (f *Fuser) flushExpired(key string, b *fusionBatch) {
 func (f *Fuser) run(b *fusionBatch) {
 	mach := b.mach
 	mach.M = b.words
-	plan, cached, err := f.Planner.PlanTerm(b.t, mach)
+	plan, cached, err := f.Planner.PlanTermStrategy(b.t, mach, b.strat)
 
 	f.mu.Lock()
 	f.stats.Batches++

@@ -36,6 +36,9 @@ type LoadConfig struct {
 	Seed int64
 	// P and M are the machine parameters sent with each request.
 	P, M int
+	// Strategy is sent with each request ("" or "greedy" for the greedy
+	// engine, "search" for the global plan search).
+	Strategy string
 	// Out receives progress lines (nil for quiet).
 	Out io.Writer
 }
@@ -66,6 +69,7 @@ type LoadReport struct {
 	Seed     int64         `json:"seed"`
 	P        int           `json:"p"`
 	M        int           `json:"m"`
+	Strategy string        `json:"strategy,omitempty"`
 	Phases   []PhaseResult `json:"phases"`
 	// Fusion and Cache are the server's final counters.
 	Fusion FusionStats `json:"fusion"`
@@ -129,6 +133,7 @@ func Loadgen(cfg LoadConfig) (LoadReport, error) {
 		Seed:     cfg.Seed,
 		P:        cfg.P,
 		M:        cfg.M,
+		Strategy: cfg.Strategy,
 	}
 
 	phases := []struct {
@@ -213,7 +218,7 @@ func runPhase(client *http.Client, cfg LoadConfig, name string, n int, pool []st
 			var myFirst error
 			for i := 0; i < share; i++ {
 				prog := pool[rng.Intn(len(pool))]
-				req := Request{Program: prog, P: cfg.P, M: cfg.M, Fuse: fuse}
+				req := Request{Program: prog, P: cfg.P, M: cfg.M, Fuse: fuse, Strategy: cfg.Strategy}
 				if fuse {
 					// Small compatible blocks, the fusion window's prey.
 					req.M = 1 + rng.Intn(8)

@@ -31,6 +31,11 @@ type Plan struct {
 	// Verified reports that every rule application and the end-to-end
 	// rewriting were checked under the functional semantics.
 	Verified bool `json:"verified"`
+	// Strategy is the optimizer that produced the plan ("greedy" or
+	// "search").
+	Strategy Strategy `json:"strategy"`
+	// Search carries the plan-search statistics for searched plans.
+	Search *rules.SearchStats `json:"search,omitempty"`
 
 	// Term is the optimized program term, for executing the plan; not
 	// serialized.
@@ -48,6 +53,9 @@ type Planner struct {
 	Verify bool
 	// VerifyCfg configures the verification runs.
 	VerifyCfg rules.VerifyConfig
+	// SearchCfg bounds the plan search for the search strategy; the zero
+	// value selects the default budgets.
+	SearchCfg rules.SearchConfig
 	// Cache memoizes key → plan.
 	Cache *Cache
 
@@ -86,6 +94,18 @@ func Key(canonical string, m core.Machine) string {
 	return fmt.Sprintf("%s|ts=%g|tw=%g|p=%d|m=%d", canonical, m.Ts, m.Tw, m.P, m.M)
 }
 
+// KeyStrategy qualifies Key with the optimization strategy. Greedy keys
+// are unchanged (cached plans from before the strategy field keep
+// working); searched plans get a distinct suffix so the two strategies
+// never serve each other's plans.
+func KeyStrategy(canonical string, m core.Machine, strat Strategy) string {
+	k := Key(canonical, m)
+	if strat == StrategySearch {
+		k += "|strategy=search"
+	}
+	return k
+}
+
 // Plan parses src and returns its optimized plan at machine m, from the
 // cache when resident (cached = true) and by one engine run otherwise.
 func (pl *Planner) Plan(src string, m core.Machine) (Plan, bool, error) {
@@ -96,28 +116,40 @@ func (pl *Planner) Plan(src string, m core.Machine) (Plan, bool, error) {
 	return pl.PlanTerm(t, m)
 }
 
-// PlanTerm is Plan for an already-parsed term.
+// PlanTerm is Plan for an already-parsed term, with the greedy strategy.
 func (pl *Planner) PlanTerm(t term.Seq, m core.Machine) (Plan, bool, error) {
+	return pl.PlanTermStrategy(t, m, StrategyGreedy)
+}
+
+// PlanTermStrategy is PlanTerm with an explicit optimization strategy.
+// Searched plans share the cache with greedy plans under a
+// strategy-qualified key.
+func (pl *Planner) PlanTermStrategy(t term.Seq, m core.Machine, strat Strategy) (Plan, bool, error) {
 	canonical := rules.Canonical(t)
-	return pl.Cache.GetOrCompute(Key(canonical, m), func() (Plan, error) {
-		return pl.compute(t, canonical, m)
+	return pl.Cache.GetOrCompute(KeyStrategy(canonical, m, strat), func() (Plan, error) {
+		return pl.compute(t, canonical, m, strat)
 	})
 }
 
-// compute runs the cost-guided engine (and, when Verify is set, the
+// compute runs the selected optimizer (and, when Verify is set, the
 // semantic verifier) — the single-flight body behind every cache miss.
-func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine) (Plan, error) {
+func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine, strat Strategy) (Plan, error) {
 	pl.engineRuns.Add(1)
 	prog := core.FromTerm(t)
 	var opt core.Optimization
-	if pl.Verify {
-		var err error
+	var err error
+	switch {
+	case strat == StrategySearch && pl.Verify:
+		opt, err = prog.OptimizeSearchVerified(m, pl.VerifyCfg, pl.SearchCfg)
+	case strat == StrategySearch:
+		opt = prog.OptimizeSearch(m, pl.SearchCfg)
+	case pl.Verify:
 		opt, err = prog.OptimizeVerified(m, pl.VerifyCfg)
-		if err != nil {
-			return Plan{}, fmt.Errorf("verification failed: %w", err)
-		}
-	} else {
+	default:
 		opt = prog.Optimize(m)
+	}
+	if err != nil {
+		return Plan{}, fmt.Errorf("verification failed: %w", err)
 	}
 	optTerm := term.Compose(opt.Program.Term())
 	plan := Plan{
@@ -126,6 +158,8 @@ func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine) (Plan, 
 		CostBefore: opt.EstimateBefore,
 		CostAfter:  opt.EstimateAfter,
 		Verified:   pl.Verify,
+		Strategy:   strat,
+		Search:     opt.Search,
 		Term:       optTerm,
 	}
 	for _, a := range opt.Applications {

@@ -65,6 +65,9 @@ type Request struct {
 	// every stage is a standard collective are fusible; others fall back
 	// to the direct path).
 	Fuse bool `json:"fuse,omitempty"`
+	// Strategy selects the optimizer: "greedy" (the default) or "search"
+	// for the global plan search.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // Response is the body of a successful POST /optimize.
@@ -220,6 +223,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad machine parameters: %v", err)
 		return
 	}
+	strat, err := ParseStrategy(req.Strategy)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad strategy: %v", err)
+		return
+	}
 	t, err := s.planner.ParseProgram(req.Program)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "parse error: %v", err)
@@ -228,7 +236,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	var resp Response
 	if req.Fuse && Fusible(t) {
-		plan, cached, info, err := s.fuser.Submit(t, rules.Canonical(t), mach)
+		plan, cached, info, err := s.fuser.Submit(t, rules.Canonical(t), mach, strat)
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "optimization failed: %v", err)
 			return
@@ -237,7 +245,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		fusedMach.M = info.FusedM
 		resp = Response{Plan: plan, Cached: cached, Machine: fusedMach, Fusion: &info}
 	} else {
-		plan, cached, err := s.planner.PlanTerm(t, mach)
+		plan, cached, err := s.planner.PlanTermStrategy(t, mach, strat)
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "optimization failed: %v", err)
 			return

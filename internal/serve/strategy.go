@@ -1,0 +1,31 @@
+package serve
+
+import "fmt"
+
+// Strategy selects the optimizer behind a plan: the greedy cost-guided
+// engine (the default) or the global plan search (rules.SearchOptimize),
+// which is never worse than greedy and strictly better where the greedy
+// window heuristic forfeits a cheaper derivation downstream. Searched
+// plans land in the same sharded plan cache under a strategy-qualified
+// key, so the two strategies never serve each other's plans.
+type Strategy string
+
+const (
+	// StrategyGreedy is the window-cost-guided engine of rules.Optimize.
+	StrategyGreedy Strategy = "greedy"
+	// StrategySearch is the bounded branch-and-bound plan search of
+	// rules.SearchOptimize, scored by the end-to-end cost estimate.
+	StrategySearch Strategy = "search"
+)
+
+// ParseStrategy resolves a request's strategy field; the empty string is
+// the greedy default.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case "", StrategyGreedy:
+		return StrategyGreedy, nil
+	case StrategySearch:
+		return StrategySearch, nil
+	}
+	return "", fmt.Errorf("unknown strategy %q (want %q or %q)", s, StrategyGreedy, StrategySearch)
+}
