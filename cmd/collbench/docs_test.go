@@ -49,3 +49,36 @@ func TestTestingDocFlagsExist(t *testing.T) {
 		t.Errorf("docs/TESTING.md uses collbench flags that do not exist: %v", missing)
 	}
 }
+
+// TestDocsPagesFlagsExist: every -flag that any docs/ page attributes
+// to collbench must actually exist, whichever page the example lives on
+// (TESTING.md, RULES.md, ALGORITHMS.md and TUTORIAL.md all quote
+// collbench command lines).
+func TestDocsPagesFlagsExist(t *testing.T) {
+	byPage, err := docscan.DocFlagsInDir("../../docs", "collbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byPage) == 0 {
+		t.Fatal("no docs/ page documents any collbench flags")
+	}
+	defined := definedFlags(t)
+	for page, claimed := range byPage {
+		if missing := docscan.Missing(claimed, defined); missing != nil {
+			t.Errorf("docs/%s uses collbench flags that do not exist: %v", page, missing)
+		}
+	}
+}
+
+// TestReadmeFlagsExist: the README's collbench command lines must use
+// real flags.
+func TestReadmeFlagsExist(t *testing.T) {
+	doc, err := docscan.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := docscan.DocFlags(doc, "collbench")
+	if missing := docscan.Missing(claimed, definedFlags(t)); missing != nil {
+		t.Errorf("README.md uses collbench flags that do not exist: %v", missing)
+	}
+}

@@ -17,7 +17,8 @@
 //	collbench -polyeval               reproduce the §5 case study
 //	collbench -everything             all of the above
 //	collbench -report                 the full Markdown report (EXPERIMENTS.md)
-//	collbench -benchjson FILE         wall-clock fusion suite → JSON
+//	collbench -algos                  algorithm portfolio vs butterfly (native)
+//	collbench -benchjson FILE         wall-clock fusion + algorithm suites → JSON
 //	collbench -calibrate              fit ts/tw/tc from native microbenchmarks
 //
 // Measurements default to the virtual machine, whose deterministic
@@ -31,9 +32,15 @@
 // -calibrate measures this machine's actual parameters: it runs the
 // ping-pong/compute/collective probe family on the native backend, fits
 // the a·ts + b·m·tw + c·m model by weighted least squares, validates
-// every rule's predicted break-even against measurement, and (with
-// -params-file FILE) writes the machine-readable report — see the
-// committed CALIB_native.json. -quick shrinks the sweep to a smoke run.
+// every rule's predicted break-even against measurement, validates the
+// collective-algorithm portfolio's predicted crossovers the same way
+// (see docs/ALGORITHMS.md), and (with -params-file FILE) writes the
+// machine-readable report — see the committed CALIB_native.json.
+//
+// -algos runs the portfolio validation standalone: every algorithm of
+// docs/ALGORITHMS.md head-to-head against the §4.1 butterfly on the
+// native backend, reporting measured speedups and the predicted and
+// measured crossover block sizes. -quick shrinks the sweep to a smoke run.
 // In any other mode, -params-file FILE loads a previous report and uses
 // its calibrated ts/tw in place of the -ts/-tw defaults.
 //
@@ -85,7 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	report := fs.Bool("report", false, "emit the full Markdown experiment report (EXPERIMENTS.md body)")
 	backendFlag := fs.String("backend", "virtual", "measurement backend: virtual (cost-model time) or native (wall-clock goroutines)")
 	reps := fs.Int("reps", 5, "repetitions per native measurement (minimum taken)")
-	benchjson := fs.String("benchjson", "", "run the native wall-clock fusion suite and write records to this JSON file")
+	benchjson := fs.String("benchjson", "", "run the native wall-clock fusion + algorithm suites and write records to this JSON file")
+	algosFlag := fs.Bool("algos", false, "measure the collective-algorithm portfolio against the butterfly (native wall-clock)")
 	calibrate := fs.Bool("calibrate", false, "fit ts/tw from native microbenchmarks and validate every rule's break-even")
 	quick := fs.Bool("quick", false, "with -calibrate: minimal sweep (smoke run for CI)")
 	paramsFile := fs.String("params-file", "", "with -calibrate: write the calibration report here; otherwise: load calibrated ts/tw from this report")
@@ -153,6 +161,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *algosFlag {
+		cfg := exper.DefaultNativeAlgoConfig()
+		cfg.Reps = *reps
+		cfg.Ts, cfg.Tw = *ts, *tw
+		recs, err := exper.NativeAlgos(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "== Collective-algorithm portfolio vs butterfly (native wall-clock, reps=%d) ==\n", cfg.Reps)
+		fmt.Fprint(stdout, exper.FormatNativeFusion(recs))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, exper.FormatAlgoCrossovers(recs))
+		return 0
+	}
+
 	if *benchjson != "" {
 		cfg := exper.DefaultNativeFusionConfig()
 		cfg.P = *p
@@ -163,12 +187,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
 		}
+		acfg := exper.DefaultNativeAlgoConfig()
+		acfg.Reps = *reps
+		acfg.Ts, acfg.Tw = *ts, *tw
+		arecs, err := exper.NativeAlgos(acfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "collbench: %v\n", err)
+			return 1
+		}
+		recs = append(recs, arecs...)
 		if err := exper.WriteBenchJSON(*benchjson, recs); err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "== Native wall-clock fusion suite (p=%d, reps=%d) ==\n", cfg.P, cfg.Reps)
 		fmt.Fprint(stdout, exper.FormatNativeFusion(recs))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, exper.FormatAlgoCrossovers(arecs))
 		fmt.Fprintf(stdout, "wrote %d records to %s\n", len(recs), *benchjson)
 		return 0
 	}

@@ -190,9 +190,25 @@ func TestBenchJSONMode(t *testing.T) {
 		t.Fatalf("bad JSON: %v", err)
 	}
 	// All 11 rules × 4 block sizes × 2 sides at p=4 (a power of two, so no
-	// rule is skipped).
-	if len(recs) != 88 {
-		t.Fatalf("got %d records, want 88", len(recs))
+	// rule is skipped), plus the algorithm-portfolio sweep: 4 algorithms ×
+	// 5 block sizes × 2 sides on each of p=7 and p=8.
+	if len(recs) != 88+80 {
+		t.Fatalf("got %d records, want %d", len(recs), 88+80)
+	}
+	algoRows, crossRows := 0, 0
+	for _, r := range recs {
+		if strings.HasPrefix(r.Rule, "Algo-") && r.Side == "rhs" {
+			algoRows++
+			if r.MeasCross != 0 || r.PredCross != 0 {
+				crossRows++
+			}
+		}
+	}
+	if algoRows != 40 {
+		t.Fatalf("got %d algorithm rhs rows, want 40", algoRows)
+	}
+	if crossRows == 0 {
+		t.Fatal("no algorithm row carries a crossover")
 	}
 }
 

@@ -28,3 +28,48 @@ func TestDocCommentCoversEveryFlag(t *testing.T) {
 		t.Errorf("flags missing from the doc comment: %v", missing)
 	}
 }
+
+// definedFlags harvests the command's real flag set from its -h output.
+func definedFlags(t *testing.T) map[string]bool {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("-h: exit %d", code)
+	}
+	flags := docscan.UsageFlags(errb.String())
+	if len(flags) == 0 {
+		t.Fatalf("no flags parsed from usage:\n%s", errb.String())
+	}
+	return flags
+}
+
+// TestDocsPagesFlagsExist: every -flag that any docs/ page attributes
+// to collopt must actually exist, whichever page the example lives on.
+func TestDocsPagesFlagsExist(t *testing.T) {
+	byPage, err := docscan.DocFlagsInDir("../../docs", "collopt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byPage) == 0 {
+		t.Fatal("no docs/ page documents any collopt flags")
+	}
+	defined := definedFlags(t)
+	for page, claimed := range byPage {
+		if missing := docscan.Missing(claimed, defined); missing != nil {
+			t.Errorf("docs/%s uses collopt flags that do not exist: %v", page, missing)
+		}
+	}
+}
+
+// TestReadmeFlagsExist: the README's collopt command lines must use
+// real flags.
+func TestReadmeFlagsExist(t *testing.T) {
+	doc, err := docscan.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := docscan.DocFlags(doc, "collopt")
+	if missing := docscan.Missing(claimed, definedFlags(t)); missing != nil {
+		t.Errorf("README.md uses collopt flags that do not exist: %v", missing)
+	}
+}

@@ -21,6 +21,10 @@
 //	          branch-and-bound over all rule-application sequences,
 //	          never worse than greedy); when the searched plan beats the
 //	          greedy one, the derivation diff is printed
+//	-select   auto-select collective algorithms: rewrites are scored with
+//	          the calibrated portfolio model (docs/ALGORITHMS.md) and the
+//	          chosen algorithm of every eligible reduction is printed;
+//	          composes with -search
 //	-verify   check the rewriting on random inputs (default true)
 //	-rules    print the rule catalog and exit
 //	-mpi      parse the program in the paper's MPI notation
@@ -81,6 +85,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	m := fs.Int("m", 64, "block size in words")
 	all := fs.Bool("all", false, "apply every applicable rule, ignoring cost estimates")
 	search := fs.Bool("search", false, "optimize with the global plan search instead of the greedy engine")
+	selectAlgos := fs.Bool("select", false, "auto-select collective algorithms from the calibrated portfolio")
 	searchBench := fs.String("searchbench", "", "run the search-vs-greedy benchmark and write BENCH_search.json to this file")
 	searchCases := fs.Int("search-cases", 200, "corpus size for -searchbench")
 	searchSeed := fs.Int64("search-seed", 1, "corpus seed for -searchbench")
@@ -164,20 +169,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "estimate: %.0f\n\n", prog.Estimate(mach))
 
 	apps := prog.Applicable(mach)
-	if len(apps) == 0 {
+	if len(apps) == 0 && !*selectAlgos {
 		fmt.Fprintln(stdout, "no optimization rule applies")
 		return 0
 	}
-	fmt.Fprintln(stdout, "applicable rules:")
-	for _, a := range apps {
-		verdict := "improves"
-		if a.CostAfter >= a.CostBefore {
-			verdict = "does not improve"
+	if len(apps) > 0 {
+		fmt.Fprintln(stdout, "applicable rules:")
+		for _, a := range apps {
+			verdict := "improves"
+			if a.CostAfter >= a.CostBefore {
+				verdict = "does not improve"
+			}
+			fmt.Fprintf(stdout, "  %-14s @%d  %10.0f -> %10.0f  (%s)\n",
+				a.Rule, a.Pos, a.CostBefore, a.CostAfter, verdict)
 		}
-		fmt.Fprintf(stdout, "  %-14s @%d  %10.0f -> %10.0f  (%s)\n",
-			a.Rule, a.Pos, a.CostBefore, a.CostAfter, verdict)
+		fmt.Fprintln(stdout)
 	}
-	fmt.Fprintln(stdout)
 
 	var opt core.Optimization
 	switch {
@@ -186,13 +193,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opt.EstimateBefore = prog.Estimate(mach)
 		opt.EstimateAfter = opt.Program.Estimate(mach)
 	case *search:
-		opt = prog.OptimizeSearch(mach, rules.SearchConfig{})
+		opt, _ = prog.OptimizeOpts(mach, core.OptimizeOptions{Search: true, Auto: *selectAlgos})
 		fmt.Fprintf(stdout, "plan search: %d nodes, %d memo hits, %d pruned, exhausted=%v\n",
 			opt.Search.Nodes, opt.Search.MemoHits, opt.Search.Pruned, opt.Search.Exhausted)
 		if opt.Search.Improved() {
 			// The derivation diff: what the greedy engine would have done
 			// and what the search found instead.
-			greedy := prog.Optimize(mach)
+			greedy, _ := prog.OptimizeOpts(mach, core.OptimizeOptions{Auto: *selectAlgos})
 			fmt.Fprintf(stdout, "search beats greedy: %.0f -> %.0f (gain %.0f)\n",
 				greedy.EstimateAfter, opt.Search.BestCost, greedy.EstimateAfter-opt.Search.BestCost)
 			fmt.Fprintln(stdout, "greedy derivation (forfeited):")
@@ -210,7 +217,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	default:
-		opt = prog.Optimize(mach)
+		opt, _ = prog.OptimizeOpts(mach, core.OptimizeOptions{Auto: *selectAlgos})
+	}
+	if *selectAlgos {
+		if len(opt.Selection) == 0 {
+			fmt.Fprintln(stdout, "selection: no eligible reduction stages (elementwise, unbalanced)")
+		} else {
+			fmt.Fprintln(stdout, "selected algorithms:")
+			for _, sl := range opt.Selection {
+				fmt.Fprintf(stdout, "  %s\n", sl)
+			}
+		}
+		fmt.Fprintln(stdout)
 	}
 	if len(opt.Applications) == 0 {
 		fmt.Fprintln(stdout, "cost-guided engine: no profitable rewrite at these parameters")

@@ -50,3 +50,34 @@ func TestServingDocFlagsExist(t *testing.T) {
 		t.Errorf("docs/SERVING.md uses collserve flags that do not exist: %v", missing)
 	}
 }
+
+// TestDocsPagesFlagsExist: every -flag that any docs/ page attributes
+// to collserve must actually exist, whichever page the example lives on.
+func TestDocsPagesFlagsExist(t *testing.T) {
+	byPage, err := docscan.DocFlagsInDir("../../docs", "collserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byPage) == 0 {
+		t.Fatal("no docs/ page documents any collserve flags")
+	}
+	defined := definedFlags(t)
+	for page, claimed := range byPage {
+		if missing := docscan.Missing(claimed, defined); missing != nil {
+			t.Errorf("docs/%s uses collserve flags that do not exist: %v", page, missing)
+		}
+	}
+}
+
+// TestReadmeFlagsExist: the README's collserve command lines must use
+// real flags.
+func TestReadmeFlagsExist(t *testing.T) {
+	doc, err := docscan.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := docscan.DocFlags(doc, "collserve")
+	if missing := docscan.Missing(claimed, definedFlags(t)); missing != nil {
+		t.Errorf("README.md uses collserve flags that do not exist: %v", missing)
+	}
+}

@@ -48,6 +48,9 @@
 //	-strategy S         optimization strategy sent with every request:
 //	                    "greedy" (default) or "search" for the global
 //	                    plan search
+//	-select             request collective-algorithm auto-selection with
+//	                    every request (plans carry per-stage algorithm
+//	                    choices under select-qualified cache keys)
 //	-json FILE          write the machine-readable report here
 //	-min-hit-rate F     fail (exit 1) if the repeated phase's cache hit
 //	                    rate is below F
@@ -103,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fusible    = fs.Int("fusible", 0, "loadgen: extra fuse-enabled requests (0 skips the fusion phase)")
 		seed       = fs.Int64("seed", 1, "loadgen: workload seed")
 		strategy   = fs.String("strategy", "", `loadgen: optimization strategy per request ("greedy" or "search")`)
+		selectAlgo = fs.Bool("select", false, "loadgen: request collective-algorithm auto-selection with every request")
 		jsonOut    = fs.String("json", "", "loadgen: write the machine-readable report to this file")
 		minHitRate = fs.Float64("min-hit-rate", 0, "loadgen: fail if the repeated phase's hit rate is below this")
 	)
@@ -129,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			P:        *p,
 			M:        *m,
 			Strategy: *strategy,
+			Select:   *selectAlgo,
 			Out:      stdout,
 		}, *jsonOut, *minHitRate, stdout, stderr)
 	}

@@ -138,6 +138,18 @@ func collectiveCases(p int) map[string]func(c coll.Comm, x algebra.Value) algebr
 		cases["reduce_scatter"] = func(c coll.Comm, x algebra.Value) algebra.Value {
 			return coll.ReduceScatter(c, algebra.Add, x)
 		}
+		cases["allreduce_rabenseifner"] = func(c coll.Comm, x algebra.Value) algebra.Value {
+			return coll.AllReduceWith(c, algebra.Add, x, coll.AllReduceRabenseifnerAlg)
+		}
+		cases["reduce_pipelined"] = func(c coll.Comm, x algebra.Value) algebra.Value {
+			return coll.ReduceWith(c, 0, algebra.Add, x, coll.ReducePipelineAlg, 3)
+		}
+		if 2*p <= 16 {
+			// ring-bi needs two vector elements per member.
+			cases["allreduce_ring_bi"] = func(c coll.Comm, x algebra.Value) algebra.Value {
+				return coll.AllReduceWith(c, algebra.Add, x, coll.AllReduceRingBiAlg)
+			}
+		}
 	}
 	return cases
 }

@@ -150,6 +150,10 @@ type Config struct {
 	// ValidateMs is the block-size sweep of the rule validation; its
 	// last element caps the crossover search.
 	ValidateMs []int
+	// AlgoPs are the group sizes of the algorithm-portfolio validation
+	// (ValidateAlgos); include a non-power-of-two to exercise the
+	// rabenseifner fold path. Empty falls back to {ValidateP}.
+	AlgoPs []int
 }
 
 // DefaultConfig is the full calibration: three group sizes, a
@@ -163,6 +167,7 @@ func DefaultConfig() Config {
 		Rounds:     32,
 		ValidateP:  8,
 		ValidateMs: []int{1, 4, 16, 64, 256, 1024, 4096},
+		AlgoPs:     []int{7, 8},
 	}
 }
 
@@ -176,6 +181,7 @@ func QuickConfig() Config {
 		Rounds:     8,
 		ValidateP:  4,
 		ValidateMs: []int{1, 64},
+		AlgoPs:     []int{4},
 	}
 }
 

@@ -26,6 +26,9 @@ type Report struct {
 	// Validation is the per-rule predicted-vs-measured break-even
 	// record.
 	Validation []RuleValidation `json:"validation"`
+	// Algos is the per-algorithm predicted-vs-measured crossover record
+	// of the collective portfolio (see ValidateAlgos).
+	Algos []AlgoValidation `json:"algos,omitempty"`
 }
 
 // Run performs the full calibration pipeline — measure, fit, validate —
@@ -39,6 +42,10 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	algos, err := ValidateAlgos(fit, cfg)
+	if err != nil {
+		return Report{}, err
+	}
 	return Report{
 		Backend:    "native",
 		Reps:       cfg.Reps,
@@ -46,6 +53,7 @@ func Run(cfg Config) (Report, error) {
 		Fit:        fit,
 		Samples:    samples,
 		Validation: val,
+		Algos:      algos,
 	}, nil
 }
 
@@ -89,6 +97,10 @@ func FormatReport(r Report) string {
 	if len(r.Validation) > 0 {
 		b.WriteByte('\n')
 		b.WriteString(FormatValidation(r.Validation))
+	}
+	if len(r.Algos) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(FormatAlgoValidation(r.Algos))
 	}
 	return b.String()
 }

@@ -129,14 +129,23 @@ func (a AllReduceAlg) String() string {
 		return "butterfly"
 	case AllReduceRingAlg:
 		return "ring"
+	case AllReduceRabenseifnerAlg:
+		return "rabenseifner"
+	case AllReduceRingBiAlg:
+		return "ring-bi"
 	}
 	return fmt.Sprintf("AllReduceAlg(%d)", int(a))
 }
 
 // AllReduceWith performs the all-reduction with the chosen algorithm.
 func AllReduceWith(c Comm, op *algebra.Op, x Value, alg AllReduceAlg) Value {
-	if alg == AllReduceRingAlg {
+	switch alg {
+	case AllReduceRingAlg:
 		return AllReduceRing(c, op, x)
+	case AllReduceRabenseifnerAlg:
+		return AllReduceRabenseifner(c, op, x)
+	case AllReduceRingBiAlg:
+		return AllReduceRingBi(c, op, x)
 	}
 	return AllReduce(c, op, x)
 }

@@ -1,0 +1,115 @@
+// Package sel is the algorithm-selection layer: it picks, for every
+// eligible reduction stage of a program, the cheapest collective algorithm
+// from the calibrated portfolio (cost/algo.go) at that stage's (p, m) —
+// turning the rule engine's target shape from "the butterfly form" into
+// "the best-known form on this machine". Selections are pure data: the
+// executor (core.RunStagesSelected) dispatches on them, the serving layer
+// records them in plans and cache keys, and collbench sweeps them against
+// measurements.
+//
+// Only unbalanced reductions over elementwise base operators are eligible
+// (cost.SelectableReduce): every portfolio alternative splits or segments
+// the block, which is unsound for the derived tuple operators the rules
+// introduce. The butterfly is always in the candidate set, so a selection
+// is never predicted worse than the butterfly baseline.
+package sel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/term"
+)
+
+// Selection records the algorithm chosen for one eligible reduction
+// stage of a program.
+type Selection struct {
+	// Stage is the stage's index in the flattened stage list (the order
+	// the executor runs them in).
+	Stage int `json:"stage"`
+	// Collective is the collective kind, cost.CollReduce or
+	// cost.CollAllReduce.
+	Collective string `json:"collective"`
+	// Algo is the chosen algorithm.
+	Algo cost.Algo `json:"algo"`
+	// Segments is the pipeline's Lowery–Langou segment count; 0 for the
+	// other algorithms.
+	Segments int `json:"segments,omitempty"`
+	// M is the per-processor block size (words) the stage is predicted to
+	// see, tracked through gather/scatter reshaping.
+	M int `json:"m"`
+	// Predicted and Butterfly are the model costs of the chosen algorithm
+	// and of the butterfly baseline at (p, M); Predicted ≤ Butterfly.
+	Predicted float64 `json:"predicted"`
+	Butterfly float64 `json:"butterfly"`
+}
+
+func (s Selection) String() string {
+	out := fmt.Sprintf("stage %d %s m=%d: %s", s.Stage, s.Collective, s.M, s.Algo)
+	if s.Segments > 0 {
+		out += fmt.Sprintf(" k=%d", s.Segments)
+	}
+	if s.Algo != cost.AlgoButterfly {
+		out += fmt.Sprintf(" (predicted %.0f vs butterfly %.0f)", s.Predicted, s.Butterfly)
+	}
+	return out
+}
+
+// Choose picks the cheapest applicable algorithm for one collective at
+// parameters p, assuming an elementwise operator. The butterfly is always
+// a candidate, so Predicted ≤ Butterfly.
+func Choose(collective string, p cost.Params) Selection {
+	a, c := cost.BestAlgo(collective, p, true)
+	bf, _ := cost.AlgoCost(collective, cost.AlgoButterfly, p)
+	s := Selection{Collective: collective, Algo: a, M: p.M, Predicted: c, Butterfly: bf}
+	if a == cost.AlgoPipeline {
+		s.Segments = cost.PipelineSegments(p)
+	}
+	return s
+}
+
+// ForTerm walks the flattened stages of t, tracking the per-processor
+// block size the way cost.OfTerm does (gather/scatter reshape it), and
+// returns a Selection for every eligible reduction stage — including
+// stages where the butterfly itself wins, so callers can see the whole
+// decision. A nil result means no stage was eligible.
+func ForTerm(t term.Term, p cost.Params) []Selection {
+	var out []Selection
+	idx := 0
+	walk(t, p, float64(p.M), &idx, &out)
+	return out
+}
+
+func walk(t term.Term, p cost.Params, b float64, idx *int, out *[]Selection) float64 {
+	for _, stage := range term.Stages(t) {
+		if s, ok := stage.(term.Seq); ok {
+			b = walk(s, p, b, idx, out)
+			continue
+		}
+		if r, ok := stage.(term.Reduce); ok && cost.SelectableReduce(r) {
+			collective := cost.CollReduce
+			if r.All {
+				collective = cost.CollAllReduce
+			}
+			pp := p
+			pp.M = int(math.Round(b))
+			s := Choose(collective, pp)
+			s.Stage = *idx
+			*out = append(*out, s)
+		}
+		_, b = cost.StageCost(stage, p, b)
+		*idx++
+	}
+	return b
+}
+
+// Total sums the predicted costs of the selections — the portfolio's
+// contribution to an auto-scored estimate.
+func Total(sels []Selection) (predicted, butterfly float64) {
+	for _, s := range sels {
+		predicted += s.Predicted
+		butterfly += s.Butterfly
+	}
+	return predicted, butterfly
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/coll/sel"
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/rules"
@@ -111,6 +112,11 @@ type Optimization struct {
 	// Search carries the plan-search statistics when the optimization was
 	// produced by OptimizeSearch/OptimizeSearchVerified; nil for greedy.
 	Search *rules.SearchStats
+	// Selection records the per-stage algorithm choices when the
+	// optimization ran with auto-selection (OptimizeOptions.Auto); the
+	// estimates then use the portfolio model (cost.OfTermAuto). Nil
+	// without auto-selection.
+	Selection []sel.Selection
 }
 
 // Summary renders the optimization as a short report.
@@ -119,9 +125,84 @@ func (o Optimization) Summary() string {
 	for _, a := range o.Applications {
 		fmt.Fprintf(&b, "applied %s\n", a)
 	}
+	for _, s := range o.Selection {
+		fmt.Fprintf(&b, "selected %s\n", s)
+	}
 	fmt.Fprintf(&b, "estimate: %.0f -> %.0f (%.2fx)\n",
 		o.EstimateBefore, o.EstimateAfter, o.EstimateBefore/o.EstimateAfter)
 	return b.String()
+}
+
+// OptimizeOptions selects the optimizer variant for OptimizeOpts; the
+// zero value is the plain greedy engine.
+type OptimizeOptions struct {
+	// Search runs the global plan search (rules.SearchOptimize) instead
+	// of the greedy engine.
+	Search bool
+	// SearchConfig bounds the search; the zero value selects defaults.
+	SearchConfig rules.SearchConfig
+	// Auto enables collective-algorithm auto-selection: rewrites are
+	// scored with the portfolio model (cost.OfTermAuto), the estimates
+	// use it, and the result records the per-stage selections picked for
+	// the optimized program (see coll/sel).
+	Auto bool
+	// Verify checks every rule application and the end-to-end equality
+	// under the functional semantics before returning.
+	Verify bool
+	// VerifyConfig configures the verification runs.
+	VerifyConfig rules.VerifyConfig
+	// Registry overrides the algebraic property registry; nil means
+	// algebra.Default().
+	Registry *algebra.Registry
+}
+
+// OptimizeOpts is the general optimizer entry point: every other
+// Optimize* method is a fixed configuration of it. The error is non-nil
+// only when verification is requested and fails.
+func (p Program) OptimizeOpts(m Machine, o OptimizeOptions) (Optimization, error) {
+	eng := rules.NewCostGuidedEngine(m.costParams())
+	if o.Registry != nil {
+		eng.Env.Reg = o.Registry
+	}
+	eng.Auto = o.Auto
+	var (
+		opt   term.Term
+		apps  []rules.Application
+		stats *rules.SearchStats
+		err   error
+	)
+	switch {
+	case o.Search && o.Verify:
+		var st rules.SearchStats
+		opt, apps, st, err = rules.VerifySearchOptimization(eng, p.stages, o.VerifyConfig, o.SearchConfig)
+		stats = &st
+	case o.Search:
+		var st rules.SearchStats
+		opt, apps, st = eng.SearchOptimize(p.stages, o.SearchConfig)
+		stats = &st
+	case o.Verify:
+		opt, apps, err = rules.VerifyOptimization(eng, p.stages, o.VerifyConfig)
+	default:
+		opt, apps = eng.Optimize(p.stages)
+	}
+	if err != nil {
+		return Optimization{}, err
+	}
+	score := cost.OfTerm
+	if o.Auto {
+		score = cost.OfTermAuto
+	}
+	res := Optimization{
+		Program:        FromTerm(opt),
+		Applications:   apps,
+		EstimateBefore: score(p.stages, m.costParams()),
+		EstimateAfter:  score(opt, m.costParams()),
+		Search:         stats,
+	}
+	if o.Auto {
+		res.Selection = sel.ForTerm(opt, m.costParams())
+	}
+	return res, nil
 }
 
 // Optimize rewrites the program with the cost-guided engine: a rule is
@@ -134,15 +215,8 @@ func (p Program) Optimize(m Machine) Optimization {
 
 // OptimizeWith is Optimize with an explicit property registry.
 func (p Program) OptimizeWith(m Machine, reg *algebra.Registry) Optimization {
-	eng := rules.NewCostGuidedEngine(m.costParams())
-	eng.Env.Reg = reg
-	opt, apps := eng.Optimize(p.stages)
-	return Optimization{
-		Program:        FromTerm(opt),
-		Applications:   apps,
-		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
-		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
-	}
+	o, _ := p.OptimizeOpts(m, OptimizeOptions{Registry: reg})
+	return o
 }
 
 // OptimizeVerified is Optimize followed by verification: every rule
@@ -151,17 +225,7 @@ func (p Program) OptimizeWith(m Machine, reg *algebra.Registry) Optimization {
 // is returned. This is the plan-cache entry point of the optimization
 // service (package serve) — a cached plan is a verified plan.
 func (p Program) OptimizeVerified(m Machine, cfg rules.VerifyConfig) (Optimization, error) {
-	eng := rules.NewCostGuidedEngine(m.costParams())
-	opt, apps, err := rules.VerifyOptimization(eng, p.stages, cfg)
-	if err != nil {
-		return Optimization{}, err
-	}
-	return Optimization{
-		Program:        FromTerm(opt),
-		Applications:   apps,
-		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
-		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
-	}, nil
+	return p.OptimizeOpts(m, OptimizeOptions{Verify: true, VerifyConfig: cfg})
 }
 
 // OptimizeSearch rewrites the program with the global plan search
@@ -171,15 +235,8 @@ func (p Program) OptimizeVerified(m Machine, cfg rules.VerifyConfig) (Optimizati
 // greedy window heuristic forfeits a cheaper derivation downstream. The
 // zero SearchConfig selects the default budgets.
 func (p Program) OptimizeSearch(m Machine, scfg rules.SearchConfig) Optimization {
-	eng := rules.NewCostGuidedEngine(m.costParams())
-	opt, apps, stats := eng.SearchOptimize(p.stages, scfg)
-	return Optimization{
-		Program:        FromTerm(opt),
-		Applications:   apps,
-		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
-		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
-		Search:         &stats,
-	}
+	o, _ := p.OptimizeOpts(m, OptimizeOptions{Search: true, SearchConfig: scfg})
+	return o
 }
 
 // OptimizeSearchVerified is OptimizeSearch followed by verification of
@@ -188,18 +245,7 @@ func (p Program) OptimizeSearch(m Machine, scfg rules.SearchConfig) Optimization
 // counterpart of OptimizeVerified, and the plan-cache entry point for
 // the search strategy (package serve).
 func (p Program) OptimizeSearchVerified(m Machine, cfg rules.VerifyConfig, scfg rules.SearchConfig) (Optimization, error) {
-	eng := rules.NewCostGuidedEngine(m.costParams())
-	opt, apps, stats, err := rules.VerifySearchOptimization(eng, p.stages, cfg, scfg)
-	if err != nil {
-		return Optimization{}, err
-	}
-	return Optimization{
-		Program:        FromTerm(opt),
-		Applications:   apps,
-		EstimateBefore: cost.OfTerm(p.stages, m.costParams()),
-		EstimateAfter:  cost.OfTerm(opt, m.costParams()),
-		Search:         &stats,
-	}, nil
+	return p.OptimizeOpts(m, OptimizeOptions{Search: true, SearchConfig: scfg, Verify: true, VerifyConfig: cfg})
 }
 
 // Canonical renders the program in the stable canonical surface syntax

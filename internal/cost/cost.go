@@ -142,6 +142,14 @@ func ofStage(t term.Term, p Params, b float64) (float64, float64) {
 	return 0, b
 }
 
+// StageCost estimates a single stage at per-processor block size b and
+// returns its cost together with the block size downstream stages see —
+// the per-stage step of OfTerm, exported for layers that walk a program
+// themselves (the selection layer in coll/sel tracks block sizes with it).
+func StageCost(t term.Term, p Params, b float64) (float64, float64) {
+	return ofStage(t, p, b)
+}
+
 // Floor is an admissible lower bound on the cost of every term reachable
 // from t by the optimization rules, used to prune the plan search
 // (rules.SearchOptimize). The rules rewrite only scans, unbalanced

@@ -8,6 +8,7 @@ package docscan
 
 import (
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 )
@@ -56,6 +57,31 @@ func DocFlags(doc, cmd string) map[string]bool {
 		}
 	}
 	return flags
+}
+
+// DocFlagsInDir runs DocFlags over every .md page in dir and returns
+// the per-page results keyed by file name, omitting pages that
+// attribute no flags to cmd. One command's flags are documented across
+// several pages (collbench in TESTING.md, RULES.md, ALGORITHMS.md and
+// TUTORIAL.md, say); scanning the whole directory lets a drift test
+// catch a stale example on any of them, and the per-page keying names
+// the offending file in the failure message.
+func DocFlagsInDir(dir, cmd string) (map[string]map[string]bool, error) {
+	pages, err := filepath.Glob(filepath.Join(dir, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	byPage := make(map[string]map[string]bool)
+	for _, page := range pages {
+		doc, err := ReadFile(page)
+		if err != nil {
+			return nil, err
+		}
+		if flags := DocFlags(doc, cmd); len(flags) > 0 {
+			byPage[filepath.Base(page)] = flags
+		}
+	}
+	return byPage, nil
 }
 
 // DocComment returns a Go file's package doc comment: the leading //

@@ -1,6 +1,8 @@
 package docscan
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -39,6 +41,31 @@ func TestDocFlagsOnlyReadsLinesMentioningCommand(t *testing.T) {
 	want := map[string]bool{"trials": true}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("DocFlags = %v, want %v", got, want)
+	}
+}
+
+func TestDocFlagsInDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.md", "run collx -trials 50\n")
+	write("b.md", "collx -seeds 2 here\nand colly -other 3\n")
+	write("c.md", "no command mentioned, -stray flag\n")
+	write("d.txt", "collx -notmarkdown 1\n")
+	got, err := DocFlagsInDir(dir, "collx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[string]bool{
+		"a.md": {"trials": true},
+		"b.md": {"seeds": true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DocFlagsInDir = %v, want %v", got, want)
 	}
 }
 

@@ -85,6 +85,12 @@ type NativeBenchRecord struct {
 	// Speedup is the unfused time divided by this row's time: > 1 on an
 	// rhs row means the fused form won for real.
 	Speedup float64 `json:"speedup"`
+	// PredCross and MeasCross appear on the algorithm-portfolio rows
+	// (see NativeAlgos): the block size at which the algorithm first
+	// undercuts the butterfly, predicted by the calibrated cost lines
+	// and measured on this host; 0 means it never won in range.
+	PredCross int `json:"predicted_crossover,omitempty"`
+	MeasCross int `json:"measured_crossover,omitempty"`
 }
 
 // NativeFusionConfig sizes the wall-clock suite.

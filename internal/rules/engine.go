@@ -35,6 +35,21 @@ type Engine struct {
 	// lower than that of the matched window — the design discipline of
 	// §4, mechanized.
 	Params *cost.Params
+	// Auto switches the cost-guided scoring from the butterfly model
+	// (cost.OfTerm) to the algorithm-portfolio model (cost.OfTermAuto):
+	// eligible reduction stages are priced at their best-known algorithm,
+	// so a rewrite is judged against what the selection layer will
+	// actually run. Requires Params.
+	Auto bool
+}
+
+// score prices a term under the engine's model: the portfolio-aware
+// estimate when Auto is set, the butterfly estimate otherwise.
+func (e *Engine) score(t term.Term, p cost.Params) float64 {
+	if e.Auto {
+		return cost.OfTermAuto(t, p)
+	}
+	return cost.OfTerm(t, p)
 }
 
 // NewEngine returns an exhaustive engine over all rules with the default
@@ -82,8 +97,8 @@ func (e *Engine) Step(t term.Term) (term.Term, Application, bool) {
 				After:  repl,
 			}
 			if e.Params != nil {
-				app.CostBefore = cost.OfTerm(term.Seq(window), *e.Params)
-				app.CostAfter = cost.OfTerm(term.Seq(repl), *e.Params)
+				app.CostBefore = e.score(term.Seq(window), *e.Params)
+				app.CostAfter = e.score(term.Seq(repl), *e.Params)
 				if app.CostAfter >= app.CostBefore && !(r.CostNeutral && app.CostAfter == app.CostBefore) {
 					continue
 				}
@@ -136,8 +151,8 @@ func (e *Engine) Applicable(t term.Term) []Application {
 				After:  repl,
 			}
 			if e.Params != nil {
-				app.CostBefore = cost.OfTerm(term.Seq(window), *e.Params)
-				app.CostAfter = cost.OfTerm(term.Seq(repl), *e.Params)
+				app.CostBefore = e.score(term.Seq(window), *e.Params)
+				app.CostAfter = e.score(term.Seq(repl), *e.Params)
 			}
 			out = append(out, app)
 		}

@@ -92,7 +92,7 @@ func (e *Engine) SearchOptimize(t term.Term, cfg SearchConfig) (term.Term, []App
 		panic("rules: SearchOptimize requires a cost-guided engine (Params set)")
 	}
 	greedyT, greedyApps := e.Optimize(t)
-	gCost := cost.OfTerm(greedyT, *e.Params)
+	gCost := e.score(greedyT, *e.Params)
 
 	s := &searcher{
 		e:    e,
@@ -139,7 +139,7 @@ func (s *searcher) explore(t term.Term, depth int) (term.Term, []Application, fl
 		return m.t, m.apps, m.cost
 	}
 
-	self := cost.OfTerm(t, s.p)
+	self := s.e.score(t, s.p)
 	if self < s.best {
 		s.best = self
 	}

@@ -84,6 +84,7 @@ type fusionBatch struct {
 	t         term.Seq
 	mach      core.Machine // member machine; M is per-member, fused on flush
 	strat     Strategy
+	autoSel   bool
 	members   []*fusionMember
 	words     int
 	timer     *time.Timer
@@ -116,24 +117,24 @@ func NewFuser(pl *Planner, cycle time.Duration, maxCount, maxBytes int) *Fuser {
 // fusionKey groups compatible requests: everything the plan key has
 // except the block size, which the batch sums. The strategy is part of
 // the key — a greedy and a searched request never share a batch.
-func fusionKey(canonical string, m core.Machine, strat Strategy) string {
+func fusionKey(canonical string, m core.Machine, strat Strategy, autoSel bool) string {
 	mm := m
 	mm.M = 0
-	return KeyStrategy(canonical, mm, strat)
+	return KeyOpts(canonical, mm, strat, autoSel)
 }
 
 // Submit enrolls one request in the fusion window and blocks until its
 // batch flushes, returning the shared plan, whether it came from the
 // cache, and the member's FusionInfo. The caller has already checked
 // Fusible.
-func (f *Fuser) Submit(t term.Seq, canonical string, mach core.Machine, strat Strategy) (Plan, bool, FusionInfo, error) {
-	key := fusionKey(canonical, mach, strat)
+func (f *Fuser) Submit(t term.Seq, canonical string, mach core.Machine, strat Strategy, autoSel bool) (Plan, bool, FusionInfo, error) {
+	key := fusionKey(canonical, mach, strat, autoSel)
 	mem := &fusionMember{m: mach.M, ch: make(chan fusionResult, 1)}
 
 	f.mu.Lock()
 	b := f.pending[key]
 	if b == nil {
-		b = &fusionBatch{canonical: canonical, t: t, mach: mach, strat: strat}
+		b = &fusionBatch{canonical: canonical, t: t, mach: mach, strat: strat, autoSel: autoSel}
 		f.pending[key] = b
 		b.timer = time.AfterFunc(f.Cycle, func() { f.flushExpired(key, b) })
 	}
@@ -176,7 +177,7 @@ func (f *Fuser) flushExpired(key string, b *fusionBatch) {
 func (f *Fuser) run(b *fusionBatch) {
 	mach := b.mach
 	mach.M = b.words
-	plan, cached, err := f.Planner.PlanTermStrategy(b.t, mach, b.strat)
+	plan, cached, err := f.Planner.PlanTermOpts(b.t, mach, b.strat, b.autoSel)
 
 	f.mu.Lock()
 	f.stats.Batches++

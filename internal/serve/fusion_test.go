@@ -62,7 +62,7 @@ func submitN(t *testing.T, f *Fuser, src string, mach core.Machine, ms []int) ([
 			defer wg.Done()
 			mm := mach
 			mm.M = m
-			plan, _, info, err := f.Submit(prog, canon, mm, StrategyGreedy)
+			plan, _, info, err := f.Submit(prog, canon, mm, StrategyGreedy, false)
 			if err != nil {
 				t.Errorf("Submit[%d]: %v", i, err)
 				return
@@ -137,7 +137,7 @@ func TestFusionCycleExpiry(t *testing.T) {
 	mach := core.Machine{Ts: 1000, Tw: 1, P: 8, M: 4}
 	prog := parseProg(t, "scan(+)")
 	start := time.Now()
-	_, _, info, err := f.Submit(prog, rules.Canonical(prog), mach, StrategyGreedy)
+	_, _, info, err := f.Submit(prog, rules.Canonical(prog), mach, StrategyGreedy, false)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -158,7 +158,7 @@ func TestFusionDrain(t *testing.T) {
 	prog := parseProg(t, "reduce(max)")
 	done := make(chan FusionInfo, 1)
 	go func() {
-		_, _, info, err := f.Submit(prog, rules.Canonical(prog), mach, StrategyGreedy)
+		_, _, info, err := f.Submit(prog, rules.Canonical(prog), mach, StrategyGreedy, false)
 		if err != nil {
 			t.Errorf("Submit: %v", err)
 		}

@@ -39,6 +39,9 @@ type LoadConfig struct {
 	// Strategy is sent with each request ("" or "greedy" for the greedy
 	// engine, "search" for the global plan search).
 	Strategy string
+	// Select requests algorithm auto-selection with every request
+	// (Request.Select), exercising the select-qualified cache keys.
+	Select bool
 	// Out receives progress lines (nil for quiet).
 	Out io.Writer
 }
@@ -70,6 +73,7 @@ type LoadReport struct {
 	P        int           `json:"p"`
 	M        int           `json:"m"`
 	Strategy string        `json:"strategy,omitempty"`
+	Select   bool          `json:"select,omitempty"`
 	Phases   []PhaseResult `json:"phases"`
 	// Fusion and Cache are the server's final counters.
 	Fusion FusionStats `json:"fusion"`
@@ -134,6 +138,7 @@ func Loadgen(cfg LoadConfig) (LoadReport, error) {
 		P:        cfg.P,
 		M:        cfg.M,
 		Strategy: cfg.Strategy,
+		Select:   cfg.Select,
 	}
 
 	phases := []struct {
@@ -218,7 +223,7 @@ func runPhase(client *http.Client, cfg LoadConfig, name string, n int, pool []st
 			var myFirst error
 			for i := 0; i < share; i++ {
 				prog := pool[rng.Intn(len(pool))]
-				req := Request{Program: prog, P: cfg.P, M: cfg.M, Fuse: fuse, Strategy: cfg.Strategy}
+				req := Request{Program: prog, P: cfg.P, M: cfg.M, Fuse: fuse, Strategy: cfg.Strategy, Select: cfg.Select}
 				if fuse {
 					// Small compatible blocks, the fusion window's prey.
 					req.M = 1 + rng.Intn(8)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/coll/sel"
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/rules"
@@ -36,6 +37,12 @@ type Plan struct {
 	Strategy Strategy `json:"strategy"`
 	// Search carries the plan-search statistics for searched plans.
 	Search *rules.SearchStats `json:"search,omitempty"`
+	// Selection records the per-stage collective-algorithm choices when
+	// the plan was computed with auto-selection (Request.Select): which
+	// algorithm each eligible reduction runs, at which block size, with
+	// the predicted cost against the butterfly baseline. Nil without
+	// auto-selection.
+	Selection []sel.Selection `json:"selection,omitempty"`
 
 	// Term is the optimized program term, for executing the plan; not
 	// serialized.
@@ -106,6 +113,17 @@ func KeyStrategy(canonical string, m core.Machine, strat Strategy) string {
 	return k
 }
 
+// KeyOpts additionally qualifies the key with auto-selection: selected
+// plans carry different estimates and a selection stanza, so they never
+// share a cache entry with unselected plans of the same program.
+func KeyOpts(canonical string, m core.Machine, strat Strategy, autoSel bool) string {
+	k := KeyStrategy(canonical, m, strat)
+	if autoSel {
+		k += "|select"
+	}
+	return k
+}
+
 // Plan parses src and returns its optimized plan at machine m, from the
 // cache when resident (cached = true) and by one engine run otherwise.
 func (pl *Planner) Plan(src string, m core.Machine) (Plan, bool, error) {
@@ -125,29 +143,32 @@ func (pl *Planner) PlanTerm(t term.Seq, m core.Machine) (Plan, bool, error) {
 // Searched plans share the cache with greedy plans under a
 // strategy-qualified key.
 func (pl *Planner) PlanTermStrategy(t term.Seq, m core.Machine, strat Strategy) (Plan, bool, error) {
+	return pl.PlanTermOpts(t, m, strat, false)
+}
+
+// PlanTermOpts is PlanTermStrategy with collective-algorithm
+// auto-selection: the optimizer scores rewrites with the portfolio model
+// and the plan records the per-stage selections. Selected plans live
+// under their own cache keys (see KeyOpts).
+func (pl *Planner) PlanTermOpts(t term.Seq, m core.Machine, strat Strategy, autoSel bool) (Plan, bool, error) {
 	canonical := rules.Canonical(t)
-	return pl.Cache.GetOrCompute(KeyStrategy(canonical, m, strat), func() (Plan, error) {
-		return pl.compute(t, canonical, m, strat)
+	return pl.Cache.GetOrCompute(KeyOpts(canonical, m, strat, autoSel), func() (Plan, error) {
+		return pl.compute(t, canonical, m, strat, autoSel)
 	})
 }
 
 // compute runs the selected optimizer (and, when Verify is set, the
 // semantic verifier) — the single-flight body behind every cache miss.
-func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine, strat Strategy) (Plan, error) {
+func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine, strat Strategy, autoSel bool) (Plan, error) {
 	pl.engineRuns.Add(1)
 	prog := core.FromTerm(t)
-	var opt core.Optimization
-	var err error
-	switch {
-	case strat == StrategySearch && pl.Verify:
-		opt, err = prog.OptimizeSearchVerified(m, pl.VerifyCfg, pl.SearchCfg)
-	case strat == StrategySearch:
-		opt = prog.OptimizeSearch(m, pl.SearchCfg)
-	case pl.Verify:
-		opt, err = prog.OptimizeVerified(m, pl.VerifyCfg)
-	default:
-		opt = prog.Optimize(m)
-	}
+	opt, err := prog.OptimizeOpts(m, core.OptimizeOptions{
+		Search:       strat == StrategySearch,
+		SearchConfig: pl.SearchCfg,
+		Auto:         autoSel,
+		Verify:       pl.Verify,
+		VerifyConfig: pl.VerifyCfg,
+	})
 	if err != nil {
 		return Plan{}, fmt.Errorf("verification failed: %w", err)
 	}
@@ -160,6 +181,7 @@ func (pl *Planner) compute(t term.Seq, canonical string, m core.Machine, strat S
 		Verified:   pl.Verify,
 		Strategy:   strat,
 		Search:     opt.Search,
+		Selection:  opt.Selection,
 		Term:       optTerm,
 	}
 	for _, a := range opt.Applications {

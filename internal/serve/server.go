@@ -68,6 +68,11 @@ type Request struct {
 	// Strategy selects the optimizer: "greedy" (the default) or "search"
 	// for the global plan search.
 	Strategy string `json:"strategy,omitempty"`
+	// Select enables collective-algorithm auto-selection: the plan is
+	// scored with the calibrated portfolio model and records which
+	// algorithm each eligible reduction should run (Plan.Selection).
+	// Selected plans are cached under select-qualified keys.
+	Select bool `json:"select,omitempty"`
 }
 
 // Response is the body of a successful POST /optimize.
@@ -236,7 +241,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	var resp Response
 	if req.Fuse && Fusible(t) {
-		plan, cached, info, err := s.fuser.Submit(t, rules.Canonical(t), mach, strat)
+		plan, cached, info, err := s.fuser.Submit(t, rules.Canonical(t), mach, strat, req.Select)
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "optimization failed: %v", err)
 			return
@@ -245,7 +250,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		fusedMach.M = info.FusedM
 		resp = Response{Plan: plan, Cached: cached, Machine: fusedMach, Fusion: &info}
 	} else {
-		plan, cached, err := s.planner.PlanTermStrategy(t, mach, strat)
+		plan, cached, err := s.planner.PlanTermOpts(t, mach, strat, req.Select)
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "optimization failed: %v", err)
 			return
