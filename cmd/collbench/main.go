@@ -24,10 +24,16 @@
 // Measurements default to the virtual machine, whose deterministic
 // makespans follow the §4.1 cost model; -backend native re-runs them on
 // the native goroutine backend, reporting real wall-clock nanoseconds
-// (minimum over -reps repetitions). Machine parameters default to a
-// Parsytec-like start-up-dominated network (ts = 5000, tw = 1) and can be
-// overridden with -ts/-tw/-p/-m; the native backend ignores ts/tw — the
-// host's real start-up and bandwidth apply.
+// (minimum over -reps repetitions), and -backend multiproc runs the
+// calibration and algorithm sweeps (-calibrate, -algos, -benchjson) with
+// the ranks as separate OS processes over Unix sockets — the transport
+// where per-word cost is real. -transport picks the native payload
+// discipline: zerocopy (the default reference hand-off) or copy
+// (payloads deep-copied at the send site; see docs/PERF.md). Machine
+// parameters default to a Parsytec-like start-up-dominated network
+// (ts = 5000, tw = 1) and can be overridden with -ts/-tw/-p/-m; the
+// native backend ignores ts/tw — the host's real start-up and bandwidth
+// apply.
 //
 // -calibrate measures this machine's actual parameters: it runs the
 // ping-pong/compute/collective probe family on the native backend, fits
@@ -55,15 +61,20 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/backend"
 	"repro/internal/calib"
 	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/machine"
+	"repro/internal/mpbackend"
 	"repro/internal/prof"
 )
 
 func main() {
+	// Must run before anything else: multi-process measurements re-execute
+	// this binary to spawn ranks.
+	mpbackend.MaybeWorker()
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -90,7 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	everything := fs.Bool("everything", false, "run every experiment")
 	csv := fs.Bool("csv", false, "emit figures as CSV instead of ASCII plots")
 	report := fs.Bool("report", false, "emit the full Markdown experiment report (EXPERIMENTS.md body)")
-	backendFlag := fs.String("backend", "virtual", "measurement backend: virtual (cost-model time) or native (wall-clock goroutines)")
+	backendFlag := fs.String("backend", "virtual", "measurement backend: virtual (cost-model time), native (wall-clock goroutines) or multiproc (wall-clock OS processes; -calibrate, -algos and -benchjson)")
+	transportFlag := fs.String("transport", "zerocopy", "native transport: zerocopy (reference hand-off) or copy (payloads deep-copied at the send site)")
 	reps := fs.Int("reps", 5, "repetitions per native measurement (minimum taken)")
 	benchjson := fs.String("benchjson", "", "run the native wall-clock fusion + algorithm suites and write records to this JSON file")
 	algosFlag := fs.Bool("algos", false, "measure the collective-algorithm portfolio against the butterfly (native wall-clock)")
@@ -102,8 +114,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	transport, err := backend.ParseTransport(*transportFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "collbench: %v\n", err)
+		return 2
+	}
 	if err := validate(*p, *m, *reps, *backendFlag, *table1 && *measured); err != nil {
 		fmt.Fprintf(stderr, "collbench: %v\n", err)
+		return 2
+	}
+	multiproc := *backendFlag == "multiproc"
+	if multiproc && transport == backend.TransportCopy {
+		fmt.Fprintln(stderr, "collbench: -transport copy applies to the native backend; a process boundary always copies")
 		return 2
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -128,6 +150,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
 		}
+		if multiproc {
+			mp, err := calib.RunMP(cfg)
+			if err != nil {
+				fmt.Fprintf(stderr, "collbench: %v\n", err)
+				return 1
+			}
+			rep.MultiProc = mp
+		}
 		fmt.Fprint(stdout, calib.FormatReport(rep))
 		if *paramsFile != "" {
 			if err := calib.WriteReport(*paramsFile, rep); err != nil {
@@ -138,6 +168,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	// mpTs/mpTw are the multi-process transport's calibrated parameters,
+	// used for the predicted side of multi-process sweeps; they default to
+	// the -ts/-tw values and are overridden by a loaded report's multiproc
+	// section.
+	mpTs, mpTw := *ts, *tw
 	if *paramsFile != "" {
 		rep, err := calib.ReadReport(*paramsFile)
 		if err != nil {
@@ -145,13 +180,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		*ts, *tw = rep.Fit.Ts, rep.Fit.Tw
+		mpTs, mpTw = *ts, *tw
 		fmt.Fprintf(stdout, "using calibrated parameters from %s: ts=%.1f tw=%.4f\n", *paramsFile, *ts, *tw)
+		if mp := rep.MultiProc; mp != nil {
+			mpTs, mpTw = mp.Fit.Ts, mp.Fit.Tw
+			fmt.Fprintf(stdout, "multiproc section: ts=%.1f tw=%.4f\n", mpTs, mpTw)
+		}
 	}
 	native := *backendFlag == "native"
 	run := exper.RunVirtual
 	unit := ""
 	if native {
-		run = exper.NativeRunner(*reps)
+		run = exper.TransportRunner(*reps, transport)
 		unit = " [native wall-clock, ns]"
 	}
 	// virtualOnly flags modes whose output is inherently cost-model based.
@@ -165,12 +205,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg := exper.DefaultNativeAlgoConfig()
 		cfg.Reps = *reps
 		cfg.Ts, cfg.Tw = *ts, *tw
-		recs, err := exper.NativeAlgos(cfg)
+		cfg.Transport = transport
+		measure, kind := exper.NativeAlgos, "native"
+		if multiproc {
+			measure, kind = exper.MultiProcAlgos, "multi-process"
+			cfg.Ts, cfg.Tw = mpTs, mpTw
+		}
+		recs, err := measure(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "== Collective-algorithm portfolio vs butterfly (native wall-clock, reps=%d) ==\n", cfg.Reps)
+		fmt.Fprintf(stdout, "== Collective-algorithm portfolio vs butterfly (%s wall-clock, reps=%d) ==\n", kind, cfg.Reps)
 		fmt.Fprint(stdout, exper.FormatNativeFusion(recs))
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, exper.FormatAlgoCrossovers(recs))
@@ -182,6 +228,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.P = *p
 		cfg.Reps = *reps
 		cfg.Ts, cfg.Tw = *ts, *tw
+		cfg.Transport = transport
 		recs, err := exper.NativeFusion(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
@@ -190,12 +237,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		acfg := exper.DefaultNativeAlgoConfig()
 		acfg.Reps = *reps
 		acfg.Ts, acfg.Tw = *ts, *tw
+		acfg.Transport = transport
 		arecs, err := exper.NativeAlgos(acfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
 		}
 		recs = append(recs, arecs...)
+		if multiproc {
+			// The multi-process rows ride along after the native suites:
+			// same record shape, Backend "multiproc", real tw. Their
+			// predicted crossovers use the multi-process calibration.
+			mcfg := acfg
+			mcfg.Ts, mcfg.Tw = mpTs, mpTw
+			mrecs, err := exper.MultiProcAlgos(mcfg)
+			if err != nil {
+				fmt.Fprintf(stderr, "collbench: %v\n", err)
+				return 1
+			}
+			recs = append(recs, mrecs...)
+		}
 		if err := exper.WriteBenchJSON(*benchjson, recs); err != nil {
 			fmt.Fprintf(stderr, "collbench: %v\n", err)
 			return 1
@@ -208,6 +269,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if multiproc {
+		fmt.Fprintln(stderr, "collbench: -backend multiproc supports -calibrate, -algos and -benchjson; other modes run on the virtual or native backend")
+		return 2
+	}
 	if *report {
 		virtualOnly("-report")
 		fmt.Fprint(stdout, exper.Report(exper.ReportConfig{Ts: *ts, Tw: *tw, P: min(*p, 32), M: 16}))
@@ -321,8 +386,8 @@ func validate(p, m, reps int, backend string, measuredTable bool) error {
 	if reps < 1 {
 		return fmt.Errorf("-reps must be at least 1, got %d", reps)
 	}
-	if backend != "virtual" && backend != "native" {
-		return fmt.Errorf("-backend must be \"virtual\" or \"native\", got %q", backend)
+	if backend != "virtual" && backend != "native" && backend != "multiproc" {
+		return fmt.Errorf("-backend must be \"virtual\", \"native\" or \"multiproc\", got %q", backend)
 	}
 	if measuredTable && !coll.IsPow2(p) {
 		return fmt.Errorf("-table1 -measured needs a power-of-two -p (the Local rules rewrite to butterfly programs), got %d", p)

@@ -121,8 +121,13 @@ func TestFlagValidation(t *testing.T) {
 		{"zero m", []string{"-table1", "-p", "8", "-m", "0"}, "-m must be a positive"},
 		{"negative m", []string{"-fig8", "-m", "-1"}, "-m must be a positive"},
 		{"zero reps", []string{"-table1", "-reps", "0"}, "-reps must be at least 1"},
-		{"bad backend", []string{"-table1", "-backend", "quantum"}, `-backend must be "virtual" or "native"`},
+		{"bad backend", []string{"-table1", "-backend", "quantum"}, `-backend must be "virtual", "native" or "multiproc"`},
 		{"non-pow2 measured table", []string{"-table1", "-measured", "-p", "6"}, "power-of-two"},
+		{"bad transport", []string{"-table1", "-transport", "turbo"}, `unknown transport "turbo"`},
+		{"copy transport on multiproc", []string{"-algos", "-backend", "multiproc", "-transport", "copy"},
+			"a process boundary always copies"},
+		{"multiproc unsupported mode", []string{"-table1", "-backend", "multiproc"},
+			"-backend multiproc supports -calibrate, -algos and -benchjson"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -144,6 +149,19 @@ func TestTable1NativeBackend(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out, "native wall-clock") || !strings.Contains(out, "meas before") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTransportCopyNativeBackend(t *testing.T) {
+	// -transport copy must swap the native runner onto the deep-copying
+	// baseline without changing any result the table reports.
+	out, _, code := runBench(t, "-table1", "-measured", "-backend", "native",
+		"-transport", "copy", "-p", "4", "-m", "8", "-reps", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "native wall-clock") {
 		t.Fatalf("output:\n%s", out)
 	}
 }

@@ -49,6 +49,24 @@ func TestVerboseReportsEveryRun(t *testing.T) {
 	}
 }
 
+// TestTransportSweepConforms swaps the native transport under the fault
+// schedule: under every profile the copying transport and the zero-copy
+// default must both conform — the "both" sweep doubles the run count,
+// which the summary line makes visible.
+func TestTransportSweepConforms(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-prog", "reduce(+) ; bcast", "-p", "4", "-profile", "all",
+		"-seeds", "1", "-transport", "both",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "2 transports") {
+		t.Fatalf("summary does not count both transports:\n%s", out.String())
+	}
+}
+
 // Usage errors must exit 2 without running anything.
 func TestUsageErrors(t *testing.T) {
 	cases := []struct {
@@ -58,6 +76,7 @@ func TestUsageErrors(t *testing.T) {
 		{"bad flag", []string{"-nosuchflag"}},
 		{"positional args", []string{"bcast"}},
 		{"unknown profile", []string{"-profile", "nosuch"}},
+		{"unknown transport", []string{"-transport", "warp"}},
 		{"unparsable prog", []string{"-prog", "scan("}},
 	}
 	for _, tc := range cases {

@@ -67,6 +67,10 @@ func (a *Arena) Flat(w, m int) *FlatTuple {
 		t := free[len(free)-1]
 		a.freeFlats[k] = free[:len(free)-1]
 		a.usedFlats = append(a.usedFlats, t)
+		// A buffer moved away last run is reclaimable now — the previous
+		// run's completion barrier ordered the receiver's last access
+		// before this hand-out — but its move poison must not survive.
+		t.MarkOwned()
 		return t
 	}
 	t := NewFlatTuple(w, m)

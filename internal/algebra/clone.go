@@ -1,0 +1,31 @@
+package algebra
+
+// CloneValue returns a deep copy of v: mutating the copy (or the
+// original) can never be observed through the other. It is the payload
+// discipline of the copying transport (backend.TransportCopy) — the
+// behavior a memory-isolated transport such as the multi-process backend
+// forces on every message, modeled in-process so the two transports can
+// be compared head-to-head.
+//
+// Immutable-by-construction values (Scalar, Undef) are returned as is.
+// Value types this package does not know (decorator envelopes such as
+// the chaos wire protocol's) also pass through unchanged: protocol
+// framing is shared by reference on every transport, and the decorators
+// treat it — and the payload inside — as frozen once shipped.
+func CloneValue(v Value) Value {
+	switch x := v.(type) {
+	case Vec:
+		return x.Clone()
+	case *FlatTuple:
+		return x.Clone()
+	case Tuple:
+		out := make(Tuple, len(x))
+		for i, c := range x {
+			out[i] = CloneValue(c)
+		}
+		return out
+	case Mat:
+		return x.Clone()
+	}
+	return v
+}

@@ -21,6 +21,32 @@ type FlatTuple struct {
 	// Data holds the W components contiguously: component i is
 	// Data[i*m : (i+1)*m] with m = len(Data)/W.
 	Data []float64
+	// moved marks a tuple whose backing storage has been transferred to
+	// another rank through an ownership-moving send (coll.Mover): the
+	// sender must not observe the value again, and the accessors enforce
+	// that by panicking. The receiver clears the flag on adoption — it is
+	// the new owner. See docs/PERF.md, "Zero-copy ownership rules".
+	moved bool
+}
+
+// MarkMoved poisons the tuple after an ownership-transferring send: any
+// later access by the old owner panics. Transports set it; collectives
+// never do directly.
+func (t *FlatTuple) MarkMoved() { t.moved = true }
+
+// MarkOwned clears the moved poison on adoption by the receiving rank
+// (or when an arena re-issues a reclaimed buffer as fresh scratch).
+func (t *FlatTuple) MarkOwned() { t.moved = false }
+
+// IsMoved reports whether the tuple's storage has been moved away.
+func (t *FlatTuple) IsMoved() bool { return t.moved }
+
+// mustOwn panics when the tuple has been moved away — the double-use
+// guard of the ownership protocol.
+func (t *FlatTuple) mustOwn() {
+	if t.moved {
+		panic("algebra: use of a FlatTuple after its ownership was moved by Send")
+	}
 }
 
 // NewFlatTuple allocates a flat tuple of w components of m words each.
@@ -36,6 +62,7 @@ func (t *FlatTuple) M() int { return len(t.Data) / t.W }
 
 // Comp is component i as a Vec view into the backing array (no copy).
 func (t *FlatTuple) Comp(i int) Vec {
+	t.mustOwn()
 	m := t.M()
 	return Vec(t.Data[i*m : (i+1)*m : (i+1)*m])
 }
@@ -47,6 +74,7 @@ func (t *FlatTuple) String() string { return t.Tuple().String() }
 
 // Tuple is the boxed form: a Tuple of Vec views into the backing array.
 func (t *FlatTuple) Tuple() Tuple {
+	t.mustOwn()
 	out := make(Tuple, t.W)
 	for i := 0; i < t.W; i++ {
 		out[i] = t.Comp(i)
@@ -56,6 +84,7 @@ func (t *FlatTuple) Tuple() Tuple {
 
 // Clone returns an independent copy with its own backing array.
 func (t *FlatTuple) Clone() *FlatTuple {
+	t.mustOwn()
 	data := make([]float64, len(t.Data))
 	copy(data, t.Data)
 	return &FlatTuple{W: t.W, Data: data}
@@ -101,6 +130,7 @@ func CanFlatten(t Tuple) (w, m int, ok bool) {
 // sized by CanFlatten (dst.W == len(t), dst.M() == the common component
 // length). It returns dst.
 func (dst *FlatTuple) FlattenInto(t Tuple) *FlatTuple {
+	dst.mustOwn()
 	m := dst.M()
 	if dst.W != len(t) {
 		panic(fmt.Sprintf("algebra: flattening %d-tuple into width-%d flat tuple", len(t), dst.W))

@@ -39,6 +39,13 @@ func Identity(n int) Mat {
 // At returns the (i, j) entry.
 func (m Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
 
+// Clone returns a copy with its own backing array.
+func (m Mat) Clone() Mat {
+	data := make([]float64, len(m.Data))
+	copy(data, m.Data)
+	return Mat{R: m.R, C: m.C, Data: data}
+}
+
 // Words reports the entry count.
 func (m Mat) Words() int { return m.R * m.C }
 

@@ -55,6 +55,45 @@ import (
 // is aborted with a deadlock diagnosis.
 const DefaultTimeout = 30 * time.Second
 
+// TransportMode selects how a payload crosses the mailbox.
+type TransportMode int
+
+const (
+	// TransportZeroCopy (the default) hands the value reference through
+	// the channel without copying. Borrowing sends (Send, Exchange) freeze
+	// the value under the owned-scratch discipline; moving sends
+	// (SendMove) additionally transfer write ownership to the receiver,
+	// making a large-m transfer O(1) regardless of block size.
+	TransportZeroCopy TransportMode = iota
+	// TransportCopy deep-copies every payload at the send site, modeling a
+	// memory-isolation boundary (as a multi-process transport forces on
+	// every message) in-process. It is the O(m) baseline the zero-copy
+	// benchmarks and conformance runs compare against.
+	TransportCopy
+)
+
+// String names the mode as the collbench -transport flag spells it.
+func (t TransportMode) String() string {
+	switch t {
+	case TransportZeroCopy:
+		return "zerocopy"
+	case TransportCopy:
+		return "copy"
+	}
+	return fmt.Sprintf("TransportMode(%d)", int(t))
+}
+
+// ParseTransport maps a -transport flag value to its mode.
+func ParseTransport(s string) (TransportMode, error) {
+	switch s {
+	case "zerocopy":
+		return TransportZeroCopy, nil
+	case "copy":
+		return TransportCopy, nil
+	}
+	return 0, fmt.Errorf("unknown transport %q (want zerocopy or copy)", s)
+}
+
 // Machine is a native shared-memory machine of P ranks. Create one with
 // New, then call Run to execute an SPMD program; a Machine runs one
 // program at a time.
@@ -77,6 +116,10 @@ type Machine struct {
 	// package coll; fault-injecting decorators that put retransmissions
 	// and acknowledgements on the same links want more headroom.
 	MailboxCap int
+	// Transport selects the payload-passing discipline: TransportZeroCopy
+	// (the default) hands references through the mailbox, TransportCopy
+	// deep-copies every payload at the send site. See TransportMode.
+	Transport TransportMode
 	// Watchdog, when non-zero, arms the deadlock watchdog: a monitor
 	// that fires when every unfinished rank has been blocked in the same
 	// send or receive for at least this long — a quiesced-but-unfinished
@@ -107,6 +150,11 @@ func New(p int) *Machine {
 type packet struct {
 	value algebra.Value
 	tag   int
+	// owned marks an ownership-transferring message: the receiver may
+	// write the value in place (it is the new owner); the sender has
+	// relinquished it. Borrowing sends leave it false — the value is a
+	// shared, frozen reference.
+	owned bool
 }
 
 // mailboxCap is the default buffer depth per directed rank pair. As on the
@@ -230,8 +278,19 @@ func (p *Proc) Mark(label string) {
 	p.marks = append(p.marks, StageMark{Label: label, At: time.Since(p.start)})
 }
 
+// outbound prepares v for the wire: under TransportCopy every payload is
+// deep-copied at the send site (the memory-isolation baseline); under
+// TransportZeroCopy the reference itself crosses.
+func (p *Proc) outbound(v algebra.Value) algebra.Value {
+	if p.m.Transport == TransportCopy {
+		return algebra.CloneValue(v)
+	}
+	return v
+}
+
 // Send ships v to rank dst over the channel pair — a real transfer of the
-// (shared, immutable-by-convention) value reference.
+// (shared, immutable-by-convention) value reference, a borrow: the sender
+// may still read v afterwards, and neither side may write it.
 func (p *Proc) Send(dst int, v algebra.Value, tag int) {
 	if dst == p.rank {
 		panic(fmt.Sprintf("backend: rank %d sending to itself", p.rank))
@@ -240,7 +299,33 @@ func (p *Proc) Send(dst int, v algebra.Value, tag int) {
 	p.m.startupWait()
 	p.sent++
 	p.sentWords += v.Words()
-	p.put(dst, packet{value: v, tag: tag})
+	p.put(dst, packet{value: p.outbound(v), tag: tag})
+}
+
+// SendMove ships v to rank dst transferring ownership: the receiver (via
+// RecvOwned) becomes the value's owner and may write it in place; the
+// sender relinquishes it and must not observe it again. For a *FlatTuple
+// the relinquishment is enforced — the tuple is poisoned and any later
+// access by the sender panics until its arena reclaims the buffer at the
+// next run's reset. Under TransportZeroCopy this makes a large-m send
+// O(1): only the reference crosses the mailbox. Under TransportCopy the
+// receiver gets an owned deep copy and the sender's value is poisoned all
+// the same, so a program's ownership discipline is checked identically on
+// both transports.
+func (p *Proc) SendMove(dst int, v algebra.Value, tag int) {
+	if dst == p.rank {
+		panic(fmt.Sprintf("backend: rank %d sending to itself", p.rank))
+	}
+	p.checkRank(dst)
+	p.m.startupWait()
+	p.sent++
+	p.sentWords += v.Words()
+	wire := p.outbound(v)
+	if ft, ok := v.(*algebra.FlatTuple); ok {
+		// Poison after outbound: under TransportCopy the clone reads v.
+		ft.MarkMoved()
+	}
+	p.put(dst, packet{value: wire, tag: tag, owned: true})
 }
 
 // put enqueues a packet for dst. The fast path is a plain buffered-channel
@@ -278,7 +363,7 @@ func (p *Proc) TrySend(dst int, v algebra.Value, tag int) bool {
 	}
 	p.checkRank(dst)
 	select {
-	case p.m.procs[dst].mailbox(p.rank) <- packet{value: v, tag: tag}:
+	case p.m.procs[dst].mailbox(p.rank) <- packet{value: p.outbound(v), tag: tag}:
 	default:
 		return false
 	}
@@ -307,9 +392,26 @@ func (p *Proc) Exchange(partner int, v algebra.Value, tag int) algebra.Value {
 	p.m.startupWait()
 	p.sent++
 	p.sentWords += v.Words()
-	p.put(partner, packet{value: v, tag: tag})
+	p.put(partner, packet{value: p.outbound(v), tag: tag})
 	pkt := p.take(partner, tag, "deadlocked in exchange with")
 	return pkt.value
+}
+
+// RecvOwned receives the next message from rank src like Recv and reports
+// whether the message transferred ownership: when owned is true the caller
+// is the value's new owner and may write it in place (a received
+// *FlatTuple has its move poison cleared — the adoption point of the
+// ownership protocol); when false the value is a borrowed shared reference
+// and must be treated as frozen.
+func (p *Proc) RecvOwned(src, tag int) (v algebra.Value, owned bool) {
+	p.checkRank(src)
+	pkt := p.take(src, tag, "waiting for a message from")
+	if pkt.owned {
+		if ft, ok := pkt.value.(*algebra.FlatTuple); ok {
+			ft.MarkOwned()
+		}
+	}
+	return pkt.value, pkt.owned
 }
 
 // RecvAny dequeues the next message from rank src regardless of its tag,

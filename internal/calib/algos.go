@@ -49,6 +49,13 @@ type AlgoValidation struct {
 	Agreement float64 `json:"agreement"`
 }
 
+// algoMeasurer produces, for one group size p, the measurement function
+// of the head-to-head sweep: given a portfolio pairing it returns the
+// butterfly's and the algorithm's wall-clock nanoseconds. Factoring the
+// measurer out lets the native and multi-process validations share the
+// sweep and crossover logic verbatim.
+type algoMeasurer func(p int) func(collective string, a cost.Algo, m, segments int) (bfNs, algNs float64, err error)
+
 // ValidateAlgos runs every portfolio algorithm head-to-head against the
 // butterfly on the native backend across the configured sweep and
 // reports the predicted-vs-measured crossover per (collective,
@@ -57,6 +64,41 @@ type AlgoValidation struct {
 // of fit; measurements take the minimum over cfg.Reps runs. Only the
 // block sizes the algorithm can run at (cost.Applicable) are measured.
 func ValidateAlgos(fit Fit, cfg Config) ([]AlgoValidation, error) {
+	op := algebra.Add
+	return validateAlgosWith(fit, cfg, func(p int) func(string, cost.Algo, int, int) (float64, float64, error) {
+		nm := backend.New(p)
+		return func(collective string, a cost.Algo, m, segments int) (bfNs, algNs float64, err error) {
+			in := inputsFor(11, p, m)
+			exper.MeasureCollective(nm, collective, a, op, in, segments, 1) // warm-up
+			bfNs = exper.MeasureCollective(nm, collective, cost.AlgoButterfly, op, in, 0, cfg.Reps)
+			algNs = exper.MeasureCollective(nm, collective, a, op, in, segments, cfg.Reps)
+			return bfNs, algNs, nil
+		}
+	})
+}
+
+// ValidateAlgosMP is ValidateAlgos across process boundaries: the same
+// sweep, measured with mpbackend's "collective" jobs
+// (exper.MeasureCollectiveMP), so the crossovers recorded are the ones
+// the multi-process transport actually exhibits. fit must be the
+// multi-process fit — its ts/tw drive the predicted side.
+func ValidateAlgosMP(fit Fit, cfg Config) ([]AlgoValidation, error) {
+	return validateAlgosWith(fit, cfg, func(p int) func(string, cost.Algo, int, int) (float64, float64, error) {
+		return func(collective string, a cost.Algo, m, segments int) (bfNs, algNs float64, err error) {
+			if bfNs, err = exper.MeasureCollectiveMP(collective, cost.AlgoButterfly, p, m, 0, cfg.Reps); err != nil {
+				return 0, 0, err
+			}
+			algNs, err = exper.MeasureCollectiveMP(collective, a, p, m, segments, cfg.Reps)
+			return bfNs, algNs, err
+		}
+	})
+}
+
+// validateAlgosWith is the transport-independent sweep: it walks every
+// (collective, algorithm, group size), measures the applicable block
+// sizes with the given measurer, and derives agreement and the
+// predicted-vs-measured crossover.
+func validateAlgosWith(fit Fit, cfg Config, measurer algoMeasurer) ([]AlgoValidation, error) {
 	ps := cfg.AlgoPs
 	if len(ps) == 0 {
 		ps = []int{cfg.ValidateP}
@@ -66,25 +108,19 @@ func ValidateAlgos(fit Fit, cfg Config) ([]AlgoValidation, error) {
 		return nil, fmt.Errorf("calib: algorithm validation needs a non-empty block-size sweep")
 	}
 	maxM := ms[len(ms)-1]
-	op := algebra.Add
 	var out []AlgoValidation
 	for _, p := range ps {
 		if p < 2 {
 			return nil, fmt.Errorf("calib: algorithm validation needs p ≥ 2, got %d", p)
 		}
-		nm := backend.New(p)
+		measureAt := measurer(p)
 		base := cost.Params{Ts: fit.Ts, Tw: fit.Tw, P: p}
 		for _, collective := range []string{cost.CollAllReduce, cost.CollReduce} {
 			for _, a := range cost.Algos(collective)[1:] {
-				measure := func(m int) (bfNs, algNs float64) {
+				measure := func(m int) (bfNs, algNs float64, err error) {
 					pp := base
 					pp.M = m
-					segs := cost.PipelineSegments(pp)
-					in := inputsFor(11, p, m)
-					exper.MeasureCollective(nm, collective, a, op, in, segs, 1) // warm-up
-					bfNs = exper.MeasureCollective(nm, collective, cost.AlgoButterfly, op, in, 0, cfg.Reps)
-					algNs = exper.MeasureCollective(nm, collective, a, op, in, segs, cfg.Reps)
-					return bfNs, algNs
+					return measureAt(collective, a, m, cost.PipelineSegments(pp))
 				}
 				v := AlgoValidation{Collective: collective, Algo: a, P: p}
 				agree := 0
@@ -94,7 +130,10 @@ func ValidateAlgos(fit Fit, cfg Config) ([]AlgoValidation, error) {
 					if !cost.Applicable(collective, a, pp) {
 						continue
 					}
-					bfNs, algNs := measure(m)
+					bfNs, algNs, err := measure(m)
+					if err != nil {
+						return nil, err
+					}
 					v.Ms = append(v.Ms, m)
 					v.ButterflyNs = append(v.ButterflyNs, bfNs)
 					v.AlgoNs = append(v.AlgoNs, algNs)
@@ -114,8 +153,11 @@ func ValidateAlgos(fit Fit, cfg Config) ([]AlgoValidation, error) {
 					won[i] = v.AlgoNs[i] < v.ButterflyNs[i]
 				}
 				v.MeasCross = exper.FirstWinCrossover(v.Ms, won, func(m int) bool {
-					bfNs, algNs := measure(m)
-					return algNs < bfNs
+					// A failed bisection probe counts as a loss; the
+					// bracketing sweep points already measured fine, so the
+					// crossover just degrades to sweep resolution.
+					bfNs, algNs, err := measure(m)
+					return err == nil && algNs < bfNs
 				})
 				v.AbsErr = v.PredCross - v.MeasCross
 				if v.AbsErr < 0 {

@@ -172,11 +172,14 @@ func DefaultConfig() Config {
 }
 
 // QuickConfig is a seconds-scale smoke configuration for CI and tests:
-// same probe shapes, minimal sweeps.
+// same probe shapes, minimal sweeps. The sweep reaches m = 1024 so the
+// per-word coefficient stays identifiable on the multi-process
+// transport — with small blocks only, scheduling noise can flip the
+// fitted tw's sign, and the multiproc CI smoke asserts tw > 0.
 func QuickConfig() Config {
 	return Config{
 		Ps:         []int{2, 4},
-		Ms:         []int{1, 16, 256},
+		Ms:         []int{1, 16, 256, 1024},
 		Reps:       2,
 		Rounds:     8,
 		ValidateP:  4,

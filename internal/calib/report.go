@@ -29,6 +29,9 @@ type Report struct {
 	// Algos is the per-algorithm predicted-vs-measured crossover record
 	// of the collective portfolio (see ValidateAlgos).
 	Algos []AlgoValidation `json:"algos,omitempty"`
+	// MultiProc is the multi-process transport's own fit, samples and
+	// crossover validation (see RunMP) — the section where tw > 0.
+	MultiProc *MPSection `json:"multiproc,omitempty"`
 }
 
 // Run performs the full calibration pipeline — measure, fit, validate —
@@ -101,6 +104,20 @@ func FormatReport(r Report) string {
 	if len(r.Algos) > 0 {
 		b.WriteByte('\n')
 		b.WriteString(FormatAlgoValidation(r.Algos))
+	}
+	if mp := r.MultiProc; mp != nil {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "== Multi-process calibration (one OS process per rank, reps=%d, %d samples) ==\n",
+			mp.Reps, len(mp.Samples))
+		fmt.Fprintf(&b, "fitted (ns):   Ts = %.1f   Tw = %.4f   Tc = %.3f\n", mp.Fit.TsNs, mp.Fit.TwNs, mp.Fit.TcNs)
+		fmt.Fprintf(&b, "model units:   ts = %.1f    tw = %.4f   (1 unit = one elementary op = %.3f ns)\n",
+			mp.Fit.Ts, mp.Fit.Tw, mp.Fit.TcNs)
+		fmt.Fprintf(&b, "fit quality:   R² = %.4f   rel RMSE = %.1f%%   max rel err = %.1f%%\n",
+			mp.Fit.R2, 100*mp.Fit.RelRMSE, 100*mp.Fit.MaxRelErr)
+		if len(mp.Algos) > 0 {
+			b.WriteByte('\n')
+			b.WriteString(FormatAlgoValidation(mp.Algos))
+		}
 	}
 	return b.String()
 }

@@ -45,8 +45,21 @@ func VirtualMachine(p int) *machine.Machine {
 // (seed, rank), and returns the per-rank outputs. The promise under test:
 // the result equals a fault-free run bit for bit.
 func RunNative(t term.Term, p int, prof Profile, seed int64, in []algebra.Value) []algebra.Value {
+	return RunNativeTransport(t, p, prof, seed, in, backend.TransportZeroCopy)
+}
+
+// RunNativeTransport is RunNative with an explicit payload transport.
+// The two modes stress different hazards: under zero-copy the decorator's
+// duplicates and retransmissions re-deliver the same value reference, so
+// any in-place write by a receiver would corrupt a copy still in flight;
+// under copy every delivery is an independent clone. The conformance
+// promise — bitwise equality with a fault-free run — must hold under
+// both aliasing regimes.
+func RunNativeTransport(t term.Term, p int, prof Profile, seed int64, in []algebra.Value, transport backend.TransportMode) []algebra.Value {
 	out := make([]algebra.Value, p)
-	NativeMachine(p).Run(func(pr *backend.Proc) {
+	nm := NativeMachine(p)
+	nm.Transport = transport
+	nm.Run(func(pr *backend.Proc) {
 		c := Wrap(pr, prof, seed)
 		out[pr.Rank()] = core.RunStages(c, t, in[pr.Rank()])
 		c.Fence()

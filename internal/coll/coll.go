@@ -108,16 +108,19 @@ func Reduce(c Comm, root int, op *algebra.Op, x Value) Value {
 			// Send the accumulated value (covering [vr, vr+bit) in
 			// virtual-rank order) to the parent and drop out. The rank
 			// never combines after sending, so shipping its scratch
-			// buffer (frozen from here on) is safe.
+			// buffer is safe — and when the buffer is owned scratch the
+			// send moves ownership outright: the parent may combine into
+			// it in place, and on a zero-copy transport nothing is copied.
 			dst := (vr - bit + root) % n
-			c.Send(dst, v, tag)
+			sendOwned(c, dst, v, owned, tag)
 			done = true
 		} else if vr+bit < n {
 			src := (vr + bit + root) % n
-			r := recvValue(c, src, tag)
-			// Own value covers lower virtual ranks: combine own ⊕ recv,
-			// in place once the accumulator is owned scratch.
-			v = op.ApplyInto(dstFor(ar, v, owned, r), v, r)
+			r, adopted := recvOwned(c, src, tag)
+			// Own value covers lower virtual ranks: combine own ⊕ recv —
+			// in place into the accumulator once it is owned scratch, or
+			// into the received buffer when the child moved it here.
+			v = op.ApplyInto(dstForOwned(ar, v, owned, r, adopted), v, r)
 			owned = true
 			c.Compute(op.Charge(v))
 		}
@@ -152,11 +155,13 @@ func AllReduce(c Comm, op *algebra.Op, x Value) Value {
 	leaderIdx := rank // index within the q leaders
 	if rank < 2*r {
 		if rank%2 == 1 {
-			c.Send(rank-1, v, tag)
+			// The fold send is terminal for this rank's accumulator (it
+			// only receives from here on), so an owned buffer moves.
+			sendOwned(c, rank-1, v, owned, tag)
 			isLeader = false
 		} else {
-			hi := recvValue(c, rank+1, tag)
-			v = op.ApplyInto(dstFor(ar, v, owned, hi), v, hi)
+			hi, adopted := recvOwned(c, rank+1, tag)
+			v = op.ApplyInto(dstForOwned(ar, v, owned, hi, adopted), v, hi)
 			c.Compute(op.Charge(v))
 			leaderIdx = rank / 2
 		}

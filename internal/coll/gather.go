@@ -7,13 +7,15 @@ import (
 	"repro/internal/algebra"
 )
 
-// valueList is an ordered slice of per-processor values shipped as one
+// ValueList is an ordered slice of per-processor values shipped as one
 // message; it is itself a Value whose word count is the sum of its
-// members'.
-type valueList []Value
+// members'. It is exported so transports outside this package — the
+// multi-process wire codec in particular — can serialize and reconstruct
+// it.
+type ValueList []Value
 
 // Words sums the members' word counts.
-func (l valueList) Words() int {
+func (l ValueList) Words() int {
 	n := 0
 	for _, v := range l {
 		n += v.Words()
@@ -21,7 +23,7 @@ func (l valueList) Words() int {
 	return n
 }
 
-func (l valueList) String() string {
+func (l ValueList) String() string {
 	parts := make([]string, len(l))
 	for i, v := range l {
 		parts[i] = v.String()
@@ -36,7 +38,7 @@ func Gather(c Comm, root int, x Value) []Value {
 	tag := c.NextTag()
 	n := c.Size()
 	vr := (c.Rank() - root + n) % n
-	acc := valueList{x}
+	acc := ValueList{x}
 	done := false
 	for k := 0; k < log2Ceil(n) && !done; k++ {
 		bit := 1 << k
@@ -46,7 +48,7 @@ func Gather(c Comm, root int, x Value) []Value {
 			done = true
 		} else if vr+bit < n {
 			src := (vr + bit + root) % n
-			recv := recvValue(c, src, tag).(valueList)
+			recv := recvValue(c, src, tag).(ValueList)
 			acc = append(acc, recv...)
 		}
 	}
@@ -70,13 +72,13 @@ func Scatter(c Comm, root int, xs []Value) Value {
 	tag := c.NextTag()
 	n := c.Size()
 	vr := (c.Rank() - root + n) % n
-	var hold valueList
+	var hold ValueList
 	if vr == 0 {
 		if len(xs) != n {
 			panic(fmt.Sprintf("coll: Scatter root got %d values for %d members", len(xs), n))
 		}
 		// Rotate into virtual-rank order so chunks are contiguous.
-		hold = make(valueList, n)
+		hold = make(ValueList, n)
 		for r, x := range xs {
 			hold[(r-root+n)%n] = x
 		}
@@ -94,7 +96,7 @@ func Scatter(c Comm, root int, xs []Value) Value {
 			span = bit
 		case !have && vr%(bit<<1) == bit:
 			src := (vr - bit + root) % n
-			hold = recvValue(c, src, tag).(valueList)
+			hold = recvValue(c, src, tag).(ValueList)
 			have = true
 			span = len(hold)
 		}

@@ -1,0 +1,90 @@
+package coll
+
+import "repro/internal/algebra"
+
+// Mover is optionally implemented by communicators whose transport can
+// transfer value ownership instead of sharing a frozen reference. A
+// moving send relinquishes the value — the sender must not observe it
+// again (for a *algebra.FlatTuple the transport enforces this by
+// poisoning it; see algebra.FlatTuple.MarkMoved) — and the matching
+// RecvOwned makes the receiver the new owner, entitled to write the value
+// in place. On a zero-copy transport this turns a large-m send into an
+// O(1) reference hand-off; on a copying transport the receiver gets an
+// owned deep copy, so programs keep one ownership discipline on both.
+//
+// The native backend implements it; the virtual machine and the chaos
+// decorator do not (their sends stay borrows), which the helpers below
+// absorb so collectives need no per-backend branches.
+type Mover interface {
+	// SendMove ships v to dst, transferring ownership to the receiver.
+	// Only call with values this rank owns for writing (arena scratch it
+	// has not shipped) — never with a caller's input.
+	SendMove(dst int, v Value, tag int)
+	// RecvOwned receives like Recv and reports whether the message
+	// transferred ownership: true means the caller may write the value in
+	// place, false means it is a borrowed frozen reference.
+	RecvOwned(src, tag int) (Value, bool)
+}
+
+// sendOwned ships v to dst, moving ownership when the sender owns v and
+// the communicator's transport supports moves, borrowing otherwise. The
+// collectives call it at every hand-off of an accumulator that is shipped
+// and never observed again (binomial-tree sends, fold sends); exchanges,
+// whose senders read their own value after shipping, must not.
+func sendOwned(c Comm, dst int, v Value, owned bool, tag int) {
+	if owned {
+		if mv, ok := c.(Mover); ok {
+			mv.SendMove(dst, v, tag)
+			return
+		}
+	}
+	c.Send(dst, v, tag)
+}
+
+// recvOwned receives from src, reporting whether the message transferred
+// ownership of its value. On communicators without a Mover transport it
+// is exactly Recv with owned == false.
+func recvOwned(c Comm, src, tag int) (Value, bool) {
+	if mv, ok := c.(Mover); ok {
+		v, owned := mv.RecvOwned(src, tag)
+		if v == nil {
+			panic("coll: received nil value")
+		}
+		return v, owned
+	}
+	return recvValue(c, src, tag), false
+}
+
+// dstForOwned extends dstFor with an adoptable right operand: combining
+// targets cur when this rank owns it, else the received value when the
+// transport moved its ownership here, else a fresh arena buffer shaped
+// like the received value.
+func dstForOwned(ar *algebra.Arena, cur Value, curOwned bool, recv Value, adopted bool) Value {
+	if curOwned {
+		return cur
+	}
+	if adopted {
+		return recv
+	}
+	return scratchLike(ar, recv)
+}
+
+// SendMove forwards an ownership-transferring send to the parent when it
+// supports one, falling back to a borrowing send. Subgroup collectives
+// thereby keep the move fast path of the underlying transport.
+func (s *sub) SendMove(dst int, v Value, tag int) {
+	if mv, ok := s.parent.(Mover); ok {
+		mv.SendMove(s.ranks[dst], v, tag)
+		return
+	}
+	s.parent.Send(s.ranks[dst], v, tag)
+}
+
+// RecvOwned forwards an ownership-reporting receive to the parent,
+// degrading to a borrowed Recv when the parent has no Mover transport.
+func (s *sub) RecvOwned(src, tag int) (Value, bool) {
+	if mv, ok := s.parent.(Mover); ok {
+		return mv.RecvOwned(s.ranks[src], tag)
+	}
+	return s.parent.Recv(s.ranks[src], tag), false
+}

@@ -103,6 +103,10 @@ type NativeAlgoConfig struct {
 	// each row and used for the predicted crossovers (they do not affect
 	// the measurement — the host's real costs apply).
 	Ts, Tw float64
+	// Transport selects the native machine's transport mode; the zero
+	// value is the zero-copy default. MultiProcAlgos ignores it — a
+	// process boundary always serializes.
+	Transport backend.TransportMode
 }
 
 // DefaultNativeAlgoConfig sweeps the portfolio on 7 and 8 ranks across
@@ -136,6 +140,7 @@ func NativeAlgos(cfg NativeAlgoConfig) ([]NativeBenchRecord, error) {
 			return nil, fmt.Errorf("exper: the algorithm sweep needs p ≥ 2, got %d", p)
 		}
 		nm := backend.New(p)
+		nm.Transport = cfg.Transport
 		base := cost.Params{Ts: cfg.Ts, Tw: cfg.Tw, P: p}
 		for _, collective := range []string{cost.CollAllReduce, cost.CollReduce} {
 			for _, a := range cost.Algos(collective)[1:] {

@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/mpbackend"
+)
+
+// TestMain lets this package's tests spawn multi-process measurement
+// jobs: the test binary re-executes itself as the rank workers, and
+// MaybeWorker diverts those re-executions before any test runs.
+func TestMain(m *testing.M) {
+	mpbackend.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestSeededInputsMatchSweepInputs pins the cross-process contract the
+// algorithm sweeps depend on: MeasureCollectiveMP cannot ship this
+// process's input blocks to the rank workers, so both sides regenerate
+// them from the seed — the native sweep's generator and mpbackend's must
+// stay bit-identical or the two backends would measure different data.
+func TestSeededInputsMatchSweepInputs(t *testing.T) {
+	for _, tc := range []struct{ p, m int }{{2, 1}, {7, 16}, {8, 1024}} {
+		native := inputs(11, tc.p, tc.m)
+		mp := mpbackend.SeededInputs(11, tc.p, tc.m)
+		if !algebra.EqualLists(native, mp) {
+			t.Errorf("p=%d m=%d: native sweep inputs and mpbackend.SeededInputs diverge", tc.p, tc.m)
+		}
+	}
+}
+
+// TestMeasureCollectiveMP runs one real multi-process measurement end to
+// end: OS-process ranks, warm-up plus timed repetitions, makespan
+// reduction. Skipped in -short mode — it spawns processes.
+func TestMeasureCollectiveMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	ns, err := MeasureCollectiveMP(cost.CollAllReduce, cost.AlgoButterfly, 3, 8, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatalf("measured makespan %g ns, want > 0", ns)
+	}
+}

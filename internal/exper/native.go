@@ -40,11 +40,21 @@ var RunVirtual Runner = measure
 // mailboxes and scratch arenas warm up on the first rep and the minimum
 // reflects the allocation-free steady state.
 func NativeRunner(reps int) Runner {
+	return TransportRunner(reps, backend.TransportZeroCopy)
+}
+
+// TransportRunner is NativeRunner with an explicit transport mode:
+// TransportZeroCopy hands blocks over by reference (the default),
+// TransportCopy deep-copies every payload at the send site, modeling a
+// memory-isolated transport on otherwise identical machinery — the
+// baseline the zero-copy benchmarks are measured against.
+func TransportRunner(reps int, transport backend.TransportMode) Runner {
 	if reps < 1 {
 		reps = 1
 	}
 	return func(prog core.Program, mach core.Machine, in []algebra.Value) float64 {
 		nm := backend.New(mach.P)
+		nm.Transport = transport
 		best := math.MaxFloat64
 		for i := 0; i < reps; i++ {
 			_, res := prog.RunOn(nm, in)
@@ -109,6 +119,9 @@ type NativeFusionConfig struct {
 	// (they do not affect the measurement — the host's real costs
 	// apply). Pass calibrated values so the emitted records carry them.
 	Ts, Tw float64
+	// Transport selects the native machine's transport mode; the zero
+	// value is the zero-copy default.
+	Transport backend.TransportMode
 }
 
 // DefaultNativeFusionConfig sweeps all rules on 8 ranks across four block
@@ -140,7 +153,7 @@ func NativeFusion(cfg NativeFusionConfig) ([]NativeBenchRecord, error) {
 		}
 		return false
 	}
-	run := NativeRunner(cfg.Reps)
+	run := TransportRunner(cfg.Reps, cfg.Transport)
 	var out []NativeBenchRecord
 	for _, pat := range Patterns() {
 		if !wanted(pat.Rule) {

@@ -1,0 +1,378 @@
+package mpbackend
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+// packet is one decoded in-flight message, queued between a link's reader
+// goroutine and the rank's body.
+type packet struct {
+	value algebra.Value
+	tag   int
+	owned bool
+}
+
+// mailboxCap is the decoded-message queue depth per inbound link. It is
+// deeper than the native backend's default because the socket reader
+// drains ahead of the body: protocol bursts (barriers, unfold sends)
+// should never stall the peer's writer.
+const mailboxCap = 64
+
+// Proc is one multi-process rank: a separate OS process connected to
+// every peer by a Unix domain socket, with the same communicator surface
+// as the in-process backends — coll.Comm, coll.Transport, coll.Mover and
+// coll.ArenaHolder — so every collective of package coll runs on it
+// unmodified. Unlike the in-process backends a message here is a real
+// serialization: the value is encoded at the send site, shipped through
+// the kernel, and decoded into fresh storage by the receiver, which is
+// exactly the per-word cost the §4.1 model calls tw and the in-process
+// transports calibrate to ~0.
+type Proc struct {
+	rank, p int
+	// links[r] is the duplex connection to rank r (nil at rank itself).
+	// Only the rank's body goroutine writes a link.
+	links []*link
+	// mail[src] queues decoded packets from src, filled by that link's
+	// reader goroutine.
+	mail []chan packet
+	// dead is closed (once) by the first reader that fails; failErr is
+	// written before the close, so goroutines observing the closed
+	// channel read it race-free.
+	dead     chan struct{}
+	failOnce sync.Once
+	failErr  error
+	arena    *algebra.Arena
+	tagseq   int
+	ctrlseq  int
+	// sent/recvd/sentWords/ops mirror the other backends' counters.
+	sent, recvd int
+	sentWords   int
+	ops         float64
+	// encBuf is the reusable frame-encoding buffer; it grows to the
+	// largest message and is not reallocated per send.
+	encBuf []byte
+}
+
+type link struct {
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// sockPath is rank r's listening socket inside the job directory.
+func sockPath(dir string, r int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank.%d.sock", r))
+}
+
+// connect builds the full mesh for one rank: listen on the rank's own
+// socket, dial every lower rank (retrying until its listener exists),
+// then accept one connection from every higher rank. Dialers identify
+// themselves with a 4-byte hello. The linear setup is acceptable because
+// a process group is spawned once per job, not per measurement.
+func connect(dir string, rank, p int, deadline time.Time) (*Proc, error) {
+	pr := &Proc{
+		rank:  rank,
+		p:     p,
+		links: make([]*link, p),
+		mail:  make([]chan packet, p),
+		dead:  make(chan struct{}),
+		arena: algebra.NewArena(),
+	}
+	for r := range pr.mail {
+		if r != rank {
+			pr.mail[r] = make(chan packet, mailboxCap)
+		}
+	}
+	if p == 1 {
+		return pr, nil
+	}
+	ln, err := net.Listen("unix", sockPath(dir, rank))
+	if err != nil {
+		return nil, fmt.Errorf("rank %d listen: %w", rank, err)
+	}
+	defer ln.Close()
+	for r := 0; r < rank; r++ {
+		conn, err := dialRetry(sockPath(dir, r), deadline)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d dialing rank %d: %w", rank, r, err)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			return nil, fmt.Errorf("rank %d hello to rank %d: %w", rank, r, err)
+		}
+		pr.links[r] = &link{conn: conn, w: bufio.NewWriter(conn)}
+	}
+	for n := rank + 1; n < p; n++ {
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("rank %d accepting peer: %w", rank, err)
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return nil, fmt.Errorf("rank %d reading hello: %w", rank, err)
+		}
+		src := int(binary.LittleEndian.Uint32(hello[:]))
+		if src <= rank || src >= p || pr.links[src] != nil {
+			return nil, fmt.Errorf("rank %d got hello from unexpected rank %d", rank, src)
+		}
+		pr.links[src] = &link{conn: conn, w: bufio.NewWriter(conn)}
+	}
+	for r, l := range pr.links {
+		if l != nil {
+			go pr.read(r, l)
+		}
+	}
+	return pr, nil
+}
+
+// dialRetry dials a peer socket, retrying while the peer's listener may
+// not exist yet.
+func dialRetry(path string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := net.Dial("unix", path)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// read is the per-link reader goroutine: it decodes frames from src into
+// the mailbox until the connection closes. The first failure poisons the
+// Proc so blocked receives surface it instead of hanging.
+func (p *Proc) read(src int, l *link) {
+	for {
+		tag, owned, v, err := readFrame(l.conn)
+		if err != nil {
+			p.fail(fmt.Errorf("link from rank %d: %w", src, err))
+			return
+		}
+		p.mail[src] <- packet{value: v, tag: tag, owned: owned}
+	}
+}
+
+// fail records the first link failure and wakes every blocked receive.
+func (p *Proc) fail(err error) {
+	p.failOnce.Do(func() {
+		p.failErr = err
+		close(p.dead)
+	})
+}
+
+// close shuts down every link; blocked peers observe EOF.
+func (p *Proc) close() {
+	for _, l := range p.links {
+		if l != nil {
+			l.w.Flush()
+			l.conn.Close()
+		}
+	}
+}
+
+// Rank is this rank's index, 0 ≤ Rank < P.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size is the process-group size.
+func (p *Proc) Size() int { return p.p }
+
+// NextTag returns a fresh message tag; the per-rank counters of an SPMD
+// program stay synchronized, exactly as on the other backends.
+func (p *Proc) NextTag() int {
+	p.tagseq++
+	return p.tagseq
+}
+
+// Compute records n charged units of local computation (the work itself
+// already ran for real inside the operator).
+func (p *Proc) Compute(n float64) {
+	if n < 0 {
+		panic("mpbackend: negative computation charge")
+	}
+	p.ops += n
+}
+
+// ScratchArena returns the rank's scratch-buffer arena. Because every
+// message is serialized at the send site, no peer ever holds a reference
+// into this rank's buffers — the body may Reset the arena at any
+// quiescent point (the probe bodies do so between repetitions).
+func (p *Proc) ScratchArena() *algebra.Arena { return p.arena }
+
+// send encodes and ships one frame to dst.
+func (p *Proc) send(dst, tag int, owned bool, v algebra.Value) {
+	if dst == p.rank {
+		panic(fmt.Sprintf("mpbackend: rank %d sending to itself", p.rank))
+	}
+	p.checkRank(dst)
+	p.sent++
+	p.sentWords += v.Words()
+	p.encBuf = appendFrame(p.encBuf[:0], tag, owned, v)
+	l := p.links[dst]
+	if _, err := l.w.Write(p.encBuf); err != nil {
+		panic(fmt.Sprintf("mpbackend: rank %d sending to rank %d: %v", p.rank, dst, err))
+	}
+	if err := l.w.Flush(); err != nil {
+		panic(fmt.Sprintf("mpbackend: rank %d sending to rank %d: %v", p.rank, dst, err))
+	}
+}
+
+// Send ships v to rank dst. The value is fully serialized before Send
+// returns, so — unlike the in-process transports — the caller's buffer is
+// not frozen afterwards; the borrow contract is still honored by treating
+// it as such, which keeps programs portable across transports.
+func (p *Proc) Send(dst int, v algebra.Value, tag int) {
+	p.send(dst, tag, false, v)
+}
+
+// SendMove ships v transferring ownership (coll.Mover). Across a process
+// boundary the receiver always gets private storage, so the move costs
+// the same as Send; the sender's *FlatTuple is poisoned all the same, so
+// the ownership discipline is checked identically on every transport.
+func (p *Proc) SendMove(dst int, v algebra.Value, tag int) {
+	p.send(dst, tag, true, v)
+	if ft, ok := v.(*algebra.FlatTuple); ok {
+		ft.MarkMoved()
+	}
+}
+
+// TrySend is the non-blocking send of coll.Transport. Socket writes are
+// buffered by the kernel and the peer's reader goroutine always drains,
+// so the link always has room and TrySend never refuses.
+func (p *Proc) TrySend(dst int, v algebra.Value, tag int) bool {
+	p.send(dst, tag, false, v)
+	return true
+}
+
+// take dequeues the next packet from src, surfacing a dead link as a
+// panic instead of a hang. Delivered messages win over a concurrent link
+// failure: the mailbox is drained before the poison is surfaced, so a
+// peer closing right after its last send never loses that send.
+func (p *Proc) take(src int) packet {
+	p.checkRank(src)
+	select {
+	case pkt := <-p.mail[src]:
+		p.recvd++
+		return pkt
+	default:
+	}
+	select {
+	case pkt := <-p.mail[src]:
+		p.recvd++
+		return pkt
+	case <-p.dead:
+		select {
+		case pkt := <-p.mail[src]:
+			p.recvd++
+			return pkt
+		default:
+		}
+		panic(fmt.Sprintf("mpbackend: rank %d: %v", p.rank, p.failErr))
+	}
+}
+
+// accept enforces the tag discipline shared with the other backends.
+func (p *Proc) accept(pkt packet, src, tag int) packet {
+	if pkt.tag != tag {
+		panic(fmt.Sprintf("mpbackend: rank %d expected tag %d from rank %d, got %d", p.rank, tag, src, pkt.tag))
+	}
+	return pkt
+}
+
+// Recv receives the next message from rank src, blocking until it
+// arrives.
+func (p *Proc) Recv(src, tag int) algebra.Value {
+	return p.accept(p.take(src), src, tag).value
+}
+
+// RecvOwned receives like Recv and reports whether the message moved
+// ownership here (coll.Mover). Every received value is freshly decoded
+// private storage, but the flag is carried on the wire so borrow/move
+// semantics match the in-process transports exactly.
+func (p *Proc) RecvOwned(src, tag int) (algebra.Value, bool) {
+	pkt := p.accept(p.take(src), src, tag)
+	return pkt.value, pkt.owned
+}
+
+// Exchange performs the simultaneous bidirectional swap with partner.
+// Both sides write first — kernel socket buffers and the always-draining
+// reader goroutines keep that deadlock-free — then read.
+func (p *Proc) Exchange(partner int, v algebra.Value, tag int) algebra.Value {
+	if partner == p.rank {
+		panic(fmt.Sprintf("mpbackend: rank %d exchanging with itself", p.rank))
+	}
+	p.send(partner, tag, false, v)
+	return p.accept(p.take(partner), partner, tag).value
+}
+
+// RecvAny dequeues the next message from src regardless of tag
+// (coll.Transport).
+func (p *Proc) RecvAny(src int) (algebra.Value, int) {
+	pkt := p.take(src)
+	return pkt.value, pkt.tag
+}
+
+// TryRecvAny dequeues an already-arrived message from src, if any
+// (coll.Transport).
+func (p *Proc) TryRecvAny(src int) (algebra.Value, int, bool) {
+	p.checkRank(src)
+	select {
+	case pkt := <-p.mail[src]:
+		p.recvd++
+		return pkt.value, pkt.tag, true
+	default:
+		return nil, 0, false
+	}
+}
+
+func (p *Proc) checkRank(r int) {
+	if r < 0 || r >= p.p {
+		panic(fmt.Sprintf("mpbackend: rank %d out of range [0,%d)", r, p.p))
+	}
+}
+
+// ctrlBase offsets the barrier's control tags far below every application
+// tag (NextTag counts up from 1, subgroup tags are offset positive), so a
+// control message can never satisfy a collective's receive.
+const ctrlBase = -(1 << 40)
+
+// Barrier blocks until every rank of the group has entered it: non-zero
+// ranks report to rank 0 and wait for its release. The measurement bodies
+// use it to give every repetition a synchronized start, mirroring the
+// barrier-released runs of the in-process backends. Control traffic does
+// not count toward the message/word counters.
+func (p *Proc) Barrier() {
+	if p.p == 1 {
+		return
+	}
+	p.ctrlseq++
+	tag := ctrlBase - p.ctrlseq
+	sent, words := p.sent, p.sentWords
+	if p.rank == 0 {
+		for r := 1; r < p.p; r++ {
+			p.accept(p.take(r), r, tag)
+			p.recvd--
+		}
+		for r := 1; r < p.p; r++ {
+			p.send(r, tag, false, algebra.Scalar(0))
+		}
+	} else {
+		p.send(0, tag, false, algebra.Scalar(0))
+		p.accept(p.take(0), 0, tag)
+		p.recvd--
+	}
+	p.sent, p.sentWords = sent, words
+}
