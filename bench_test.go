@@ -417,6 +417,62 @@ func BenchmarkApps(b *testing.B) {
 			apps.SampleSort(mach, xs)
 		}
 	})
+	// The sparse workloads: a 2D torus stencil over halo exchanges, a
+	// segmented scan over ragged blocks delivered by allgatherv, and a
+	// graph-degree histogram over reduce_scatterv.
+	grid := make([][]float64, 64)
+	for i := range grid {
+		grid[i] = xs[i*64 : (i+1)*64]
+	}
+	b.Run("stencil", func(b *testing.B) {
+		var vtime float64
+		for i := 0; i < b.N; i++ {
+			_, res := apps.Stencil2D(mach, grid, 16, 1, 4)
+			vtime = res.Makespan
+		}
+		b.ReportMetric(vtime, "vtime")
+	})
+	counts := make([]int, mach.P)
+	left := len(xs)
+	for i := 0; i < mach.P-1; i++ {
+		share := len(xs) / mach.P * ((i * 3) % 4) / 2
+		counts[i] = share
+		left -= share
+	}
+	counts[mach.P-1] = left
+	flags := make([]bool, len(xs))
+	for i := range flags {
+		flags[i] = i%7 == 0
+	}
+	b.Run("raggedscan", func(b *testing.B) {
+		var vtime float64
+		for i := 0; i < b.N; i++ {
+			_, res := apps.RaggedSegmentedScan(mach, counts, flags, xs)
+			vtime = res.Makespan
+		}
+		b.ReportMetric(vtime, "vtime")
+	})
+	const nv = 512
+	edges := make([][2]int, len(xs))
+	for i := range edges {
+		edges[i] = [2]int{(i * 2654435761) % nv, (i*40503 + 7) % nv}
+	}
+	vcounts := make([]int, mach.P)
+	vleft := nv
+	for i := 0; i < mach.P-1; i++ {
+		share := nv / mach.P * ((i * 3) % 4) / 2
+		vcounts[i] = share
+		vleft -= share
+	}
+	vcounts[mach.P-1] = vleft
+	b.Run("degreehist", func(b *testing.B) {
+		var vtime float64
+		for i := 0; i < b.N; i++ {
+			_, res := apps.DegreeHistogram(mach, nv, edges, vcounts, 8)
+			vtime = res.Makespan
+		}
+		b.ReportMetric(vtime, "vtime")
+	})
 }
 
 // BenchmarkAllReduceAlgorithms compares the butterfly all-reduce (the

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/docscan"
+	"repro/internal/exper"
 )
 
 // definedFlags harvests the command's real flag set from its -h output.
@@ -66,6 +68,40 @@ func TestDocsPagesFlagsExist(t *testing.T) {
 	for page, claimed := range byPage {
 		if missing := docscan.Missing(claimed, defined); missing != nil {
 			t.Errorf("docs/%s uses collbench flags that do not exist: %v", page, missing)
+		}
+	}
+}
+
+// TestDocsNameEveryApp: every application collbench -apps runs
+// (exper.AppNames) must be named in a code span somewhere under docs/
+// or in the README — an app added to the dispatch without
+// documentation fails here, and exper's own harness test pins the
+// reverse direction (every listed name actually runs).
+func TestDocsNameEveryApp(t *testing.T) {
+	byPage, err := docscan.CodeSpansInDir("../../docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := docscan.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPage["README.md"] = docscan.CodeSpans(readme)
+	for _, app := range exper.AppNames {
+		found := false
+		for _, spans := range byPage {
+			for _, span := range spans {
+				if strings.Contains(span, app) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Errorf("app %q (collbench -apps) is not named in any docs/ or README code span", app)
 		}
 	}
 }

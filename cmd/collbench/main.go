@@ -353,7 +353,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *appsFlag {
 		virtualOnly("-apps")
 		ps := []int{1, 2, 4, 8, 16, 32}
-		for _, app := range []string{"mss", "statistics", "samplesort"} {
+		for _, app := range exper.AppNames {
 			rows := exper.AppSpeedup(app, *ts, *tw, 1<<14, ps)
 			fmt.Fprintln(stdout, exper.FormatSpeedup(app, rows))
 		}

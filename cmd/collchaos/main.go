@@ -145,16 +145,44 @@ func blocks(p, m int) []algebra.Value {
 }
 
 // inputsFor adapts the inputs to the program: a leading scatter consumes
-// a p-component list on rank 0.
+// a p-component list on rank 0, a leading reduce_scatterv a full
+// ΣCounts-word vector per rank, and a leading allgatherv the ragged
+// counts[r]-word blocks.
 func inputsFor(prog term.Seq, p, m int) []algebra.Value {
 	if len(prog) > 0 {
-		if _, ok := prog[0].(term.Scatter); ok {
+		switch st := prog[0].(type) {
+		case term.Scatter:
 			in := make([]algebra.Value, p)
 			list := make(algebra.Tuple, p)
 			copy(list, blocks(p, m))
 			in[0] = list
 			for r := 1; r < p; r++ {
 				in[r] = algebra.Scalar(float64(-r))
+			}
+			return in
+		case term.ReduceScatterV:
+			total := term.SumCounts(st.Counts)
+			in := make([]algebra.Value, p)
+			for r := range in {
+				b := make(algebra.Vec, total)
+				for j := range b {
+					b[j] = float64((r*7+j*3)%5 + 1)
+				}
+				in[r] = b
+			}
+			return in
+		case term.AllGatherV:
+			in := make([]algebra.Value, p)
+			for r := range in {
+				cnt := 0
+				if r < len(st.Counts) {
+					cnt = st.Counts[r]
+				}
+				b := make(algebra.Vec, cnt)
+				for j := range b {
+					b[j] = float64((r*7+j*3)%5 + 1)
+				}
+				in[r] = b
 			}
 			return in
 		}
@@ -214,23 +242,44 @@ func (h *harness) sweep(label string, prog term.Seq, p int) bool {
 	return true
 }
 
-// extensionLHS are the extension rules' left-hand sides (the Table 1
-// patterns cover the paper rules).
-func extensionLHS() []struct {
-	Rule string
-	LHS  term.Seq
-} {
-	return []struct {
-		Rule string
-		LHS  term.Seq
-	}{
-		{"RB-AllReduce", term.Seq{term.Reduce{Op: algebra.Add}, term.Bcast{}}},
-		{"AB-AllReduce", term.Seq{term.Reduce{Op: algebra.Add, All: true}, term.Bcast{}}},
-		{"BB-Bcast", term.Seq{term.Bcast{}, term.Bcast{}}},
-		{"BM-Mobility", term.Seq{term.Bcast{}, term.Map{F: rules.IncFn}}},
-		{"MM-Local", term.Seq{term.Map{F: rules.IncFn}, term.Map{F: rules.IncFn}}},
-		{"GS-Id", term.Seq{term.Gather{}, term.Scatter{}}},
-		{"SG-Id", term.Seq{term.Scatter{}, term.Gather{}}},
+// ruleLHS is one rule's left-hand side for the -rules sweep. Sizes, when
+// set, pins the machine sizes the program runs at (counts vectors only
+// run at their own length); nil means the class-default sweep.
+type ruleLHS struct {
+	Rule  string
+	LHS   term.Seq
+	Sizes []int
+}
+
+// extensionLHS are the extension and sparse rules' left-hand sides (the
+// Table 1 patterns cover the paper rules).
+func extensionLHS() []ruleLHS {
+	counts4 := []int{2, 0, 1, 1}
+	counts6 := []int{0, 3, 0, 1, 2, 0}
+	return []ruleLHS{
+		{Rule: "RB-AllReduce", LHS: term.Seq{term.Reduce{Op: algebra.Add}, term.Bcast{}}},
+		{Rule: "AB-AllReduce", LHS: term.Seq{term.Reduce{Op: algebra.Add, All: true}, term.Bcast{}}},
+		{Rule: "BB-Bcast", LHS: term.Seq{term.Bcast{}, term.Bcast{}}},
+		{Rule: "BM-Mobility", LHS: term.Seq{term.Bcast{}, term.Map{F: rules.IncFn}}},
+		{Rule: "MM-Local", LHS: term.Seq{term.Map{F: rules.IncFn}, term.Map{F: rules.IncFn}}},
+		{Rule: "GS-Id", LHS: term.Seq{term.Gather{}, term.Scatter{}}},
+		{Rule: "SG-Id", LHS: term.Seq{term.Scatter{}, term.Gather{}}},
+		{Rule: "HH-Combine", LHS: term.Seq{
+			term.Halo{H: &term.Hood{Offsets: []int{1, 2}}},
+			term.Halo{H: &term.Hood{Offsets: []int{0, 3}}},
+		}},
+		{Rule: "MH-Mobility", LHS: term.Seq{
+			term.Map{F: rules.IncFn},
+			term.Halo{H: &term.Hood{Offsets: []int{-1, 1}}},
+		}},
+		{Rule: "RSAG-AllReduce", Sizes: []int{4}, LHS: term.Seq{
+			term.ReduceScatterV{Op: algebra.Add, Counts: counts4},
+			term.AllGatherV{Counts: counts4},
+		}},
+		{Rule: "RSAG-AllReduce", Sizes: []int{6}, LHS: term.Seq{
+			term.ReduceScatterV{Op: algebra.Max, Counts: counts6},
+			term.AllGatherV{Counts: counts6},
+		}},
 	}
 }
 
@@ -238,44 +287,41 @@ func extensionLHS() []struct {
 // extensions alike, on power-of-two and (where the rule allows)
 // non-power-of-two sizes.
 func (h *harness) runRules() int {
-	type job struct {
-		rule string
-		lhs  term.Seq
-	}
-	var jobs []job
+	var jobs []ruleLHS
 	for _, pat := range exper.Patterns() {
-		jobs = append(jobs, job{pat.Rule, term.Compose(pat.LHS.Term())})
+		jobs = append(jobs, ruleLHS{Rule: pat.Rule, LHS: term.Compose(pat.LHS.Term())})
 	}
-	for _, e := range extensionLHS() {
-		jobs = append(jobs, job{e.Rule, e.LHS})
-	}
+	jobs = append(jobs, extensionLHS()...)
 	failures := 0
 	for _, j := range jobs {
-		r, ok := rules.ByName(j.rule)
+		r, ok := rules.ByName(j.Rule)
 		if !ok {
-			fmt.Fprintf(h.out, "FAIL no rule named %s\n", j.rule)
+			fmt.Fprintf(h.out, "FAIL no rule named %s\n", j.Rule)
 			failures++
 			continue
 		}
-		sizes := []int{4, 8}
-		if r.Class != "Local" {
-			sizes = []int{4, 6}
+		sizes := j.Sizes
+		if sizes == nil {
+			sizes = []int{4, 8}
+			if r.Class != "Local" {
+				sizes = []int{4, 6}
+			}
 		}
 		for _, p := range sizes {
 			eng := rules.NewEngine()
 			eng.Rules = []rules.Rule{r}
 			eng.Env.P = p
-			opt, apps := eng.Optimize(j.lhs)
+			opt, apps := eng.Optimize(j.LHS)
 			if len(apps) == 0 {
-				fmt.Fprintf(h.out, "FAIL rule %s did not apply to %s at p=%d\n", j.rule, j.lhs, p)
+				fmt.Fprintf(h.out, "FAIL rule %s did not apply to %s at p=%d\n", j.Rule, j.LHS, p)
 				failures++
 				continue
 			}
-			if !h.sweep(j.rule+"/lhs", j.lhs, p) {
+			if !h.sweep(j.Rule+"/lhs", j.LHS, p) {
 				failures++
 			}
 			if rhs := term.Compose(opt); len(rhs) > 0 {
-				if !h.sweep(j.rule+"/rhs", rhs, p) {
+				if !h.sweep(j.Rule+"/rhs", rhs, p) {
 					failures++
 				}
 			}
@@ -289,6 +335,7 @@ func (h *harness) runRules() int {
 func (h *harness) runProg(stderr io.Writer, src string) int {
 	syms := lang.NewSymbols()
 	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
 	t, err := lang.Parse(src, syms)
 	if err != nil {
 		fmt.Fprintf(stderr, "collchaos: bad -prog: %v\n", err)
@@ -307,8 +354,15 @@ func (h *harness) runRandom(trials int) int {
 	rng := rand.New(rand.NewSource(h.seed + 1))
 	failures := 0
 	for trial := 0; trial < trials; trial++ {
+		// Every third trial draws from the sparse grammar — halo chains
+		// and V-collectives with counts pinned to the machine size.
 		prog := rules.RandProgram(rng, 6)
-		if !h.sweep(fmt.Sprintf("random#%d", trial), prog, h.p) {
+		label := fmt.Sprintf("random#%d", trial)
+		if trial%3 == 2 {
+			prog = rules.RandSparseProgram(rng, h.p)
+			label = fmt.Sprintf("sparse#%d", trial)
+		}
+		if !h.sweep(label, prog, h.p) {
 			failures++
 		}
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 
 	"repro/internal/docscan"
+	"repro/internal/lang"
+	"repro/internal/rules"
 )
 
 // TestDocCommentCoversEveryFlag: each flag collopt defines must be
@@ -58,6 +61,80 @@ func TestDocsPagesFlagsExist(t *testing.T) {
 		if missing := docscan.Missing(claimed, defined); missing != nil {
 			t.Errorf("docs/%s uses collopt flags that do not exist: %v", page, missing)
 		}
+	}
+}
+
+// sparseKeywords are the surface-syntax heads of the sparse stages; a
+// doc code fragment mentioning one is claiming program syntax.
+var sparseKeywords = []string{"halo(", "allgatherv(", "reduce_scatterv("}
+
+// progTextRE admits only characters the surface syntax uses, so
+// schematic fragments like `halo(o1,…,ok)` are skipped while concrete
+// examples like `halo(-1,1) ; map inc_t` must parse.
+var progTextRE = regexp.MustCompile(`^[a-z0-9_+*#;(), -]+$`)
+
+// quotedRE extracts the "program" argument from a quoted shell example.
+var quotedRE = regexp.MustCompile(`"([^"]+)"`)
+
+// sparseProgsIn returns the concrete sparse programs a code fragment
+// claims: the quoted parts of a command line, or the fragment itself
+// when it is bare program text.
+func sparseProgsIn(span string) []string {
+	mentions := func(s string) bool {
+		for _, kw := range sparseKeywords {
+			if strings.Contains(s, kw) {
+				return true
+			}
+		}
+		return false
+	}
+	if !mentions(span) {
+		return nil
+	}
+	var progs []string
+	for _, m := range quotedRE.FindAllStringSubmatch(span, -1) {
+		if mentions(m[1]) && progTextRE.MatchString(m[1]) {
+			progs = append(progs, m[1])
+		}
+	}
+	if progs == nil && progTextRE.MatchString(span) {
+		progs = append(progs, span)
+	}
+	return progs
+}
+
+// TestDocsSparseProgramsParse: every concrete sparse-collective program
+// the docs or the README quote (halo, allgatherv, reduce_scatterv —
+// inline code, fenced blocks, indented examples) must parse with the
+// same symbol table the CLI uses. A syntax change that strands a doc
+// example fails here, naming the page.
+func TestDocsSparseProgramsParse(t *testing.T) {
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
+	byPage, err := docscan.CodeSpansInDir("../../docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme, err := docscan.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPage["README.md"] = docscan.CodeSpans(readme)
+	parsed := 0
+	for page, spans := range byPage {
+		for _, span := range spans {
+			for _, prog := range sparseProgsIn(span) {
+				if _, err := lang.Parse(prog, syms); err != nil {
+					t.Errorf("%s: sparse example %q does not parse: %v", page, prog, err)
+					continue
+				}
+				parsed++
+			}
+		}
+	}
+	if parsed < 3 {
+		t.Errorf("only %d concrete sparse program examples found across docs/ and README.md; the sparse syntax is no longer documented", parsed)
 	}
 }
 

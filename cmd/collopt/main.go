@@ -156,7 +156,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *mpi {
 		parse = lang.ParseMPI
 	}
-	t, err := parse(src, nil)
+	// The generator fns ride along so the documented sparse examples
+	// (map inc, map inc_t after a halo) parse from the shell too.
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
+	t, err := parse(src, syms)
 	if err != nil {
 		fmt.Fprintf(stderr, "collopt: parse error: %v\n", err)
 		return 1

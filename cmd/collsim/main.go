@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 func main() {
@@ -55,7 +56,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
-	t, err := lang.Parse(fs.Arg(0), nil)
+	// The generator fns ride along so the documented sparse examples
+	// (map inc, map inc_t after a halo) simulate from the shell too.
+	syms := lang.NewSymbols()
+	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
+	t, err := lang.Parse(fs.Arg(0), syms)
 	if err != nil {
 		fmt.Fprintf(stderr, "collsim: parse error: %v\n", err)
 		return 1

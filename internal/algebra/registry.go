@@ -16,6 +16,7 @@ type Registry struct {
 	commutative map[*Op]bool
 	distributes map[[2]*Op]bool // [outer ⊗, inner ⊕]: a⊗(b⊕c) = (a⊗b)⊕(a⊗c)
 	units       map[*Op]Value
+	elementwise map[*Op]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -25,6 +26,7 @@ func NewRegistry() *Registry {
 		commutative: make(map[*Op]bool),
 		distributes: make(map[[2]*Op]bool),
 		units:       make(map[*Op]Value),
+		elementwise: make(map[*Op]bool),
 	}
 }
 
@@ -41,6 +43,7 @@ func Default() *Registry {
 	for _, op := range []*Op{Add, Mul, Max, Min} {
 		r.DeclareAssociative(op)
 		r.DeclareCommutative(op)
+		r.DeclareElementwise(op)
 	}
 	r.DeclareAssociative(Left)
 	r.DeclareAssociative(MatMul)
@@ -69,11 +72,21 @@ func (r *Registry) DeclareDistributes(outer, inner *Op) {
 // DeclareUnit records the unit (neutral element) of op.
 func (r *Registry) DeclareUnit(op *Op, unit Value) { r.units[op] = unit }
 
+// DeclareElementwise records that op combines vectors position by
+// position: (a op b)[i] = a[i] op b[i], so combining commutes with
+// taking slices. This is the side condition of the reduce_scatterv +
+// allgatherv fusion — MatMul is associative but not elementwise, and
+// fusing over it would be wrong.
+func (r *Registry) DeclareElementwise(op *Op) { r.elementwise[op] = true }
+
 // Associative reports whether op is declared associative.
 func (r *Registry) Associative(op *Op) bool { return r.associative[op] }
 
 // Commutative reports whether op is declared commutative.
 func (r *Registry) Commutative(op *Op) bool { return r.commutative[op] }
+
+// Elementwise reports whether op is declared elementwise on vectors.
+func (r *Registry) Elementwise(op *Op) bool { return r.elementwise[op] }
 
 // Distributes reports whether outer is declared to distribute over inner.
 func (r *Registry) Distributes(outer, inner *Op) bool {

@@ -58,6 +58,12 @@ func Shrink(c Case, fails func(Case) bool) Case {
 			}
 		}
 		for p := 2; p < c.P; p++ {
+			if pin, ok := pinnedP(c.Prog); ok && pin != p {
+				// Counts vectors and per-rank neighborhoods pin the
+				// machine size; smaller machines cannot even run the
+				// program.
+				continue
+			}
 			cand := c
 			cand.P = p
 			if fails(cand) {
@@ -88,8 +94,11 @@ func cut(prog term.Seq, i, width int) term.Seq {
 
 // wellFormed rejects programs a removal made structurally invalid: a
 // scatter must still be fed a list, i.e. immediately follow a gather
-// (the only list-producing stage the generator emits).
+// (the only list-producing stage the generator emits), and every
+// machine-size-pinning stage (counts vectors, per-rank neighborhoods)
+// must agree on the size it pins.
 func wellFormed(prog term.Seq) bool {
+	pin := 0
 	for i, s := range prog {
 		if _, ok := s.(term.Scatter); ok {
 			if i == 0 {
@@ -99,6 +108,33 @@ func wellFormed(prog term.Seq) bool {
 				return false
 			}
 		}
+		if q, ok := stagePin(s); ok {
+			if pin != 0 && q != pin {
+				return false
+			}
+			pin = q
+		}
 	}
 	return true
+}
+
+// stagePin returns the machine size a stage pins, if any.
+func stagePin(s term.Term) (int, bool) {
+	if c, ok := term.CountsStage(s); ok {
+		return len(c), true
+	}
+	if h, ok := s.(term.Halo); ok && !h.H.Isomorphic() {
+		return len(h.H.Lists), true
+	}
+	return 0, false
+}
+
+// pinnedP returns the machine size the whole program pins, if any.
+func pinnedP(prog term.Seq) (int, bool) {
+	for _, s := range prog {
+		if q, ok := stagePin(s); ok {
+			return q, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,185 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/machine"
+	"repro/internal/term"
+)
+
+// sparseSizes covers powers of two and awkward sizes alike.
+var sparseSizes = []int{1, 2, 3, 4, 5, 7, 8, 11, 16}
+
+func TestHaloExchangeConformsToEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	hoods := [][]int{
+		{-1, 1},       // ring halo
+		{1},           // shift
+		{0},           // self only: no messages
+		{-1, -1, 2},   // duplicates
+		{3, -3},       // collides mod p for small p
+		{0, 1, 0, -1}, // zeros interleaved
+	}
+	for _, n := range sparseSizes {
+		for _, offs := range hoods {
+			m := 1 + rng.Intn(3)
+			blocks := randBlocks(rng, n, m)
+			in := make([]algebra.Value, n)
+			for i := range in {
+				in[i] = blocks[i]
+			}
+			want := term.Eval(term.Halo{H: &term.Hood{Offsets: offs}}, in)
+			out, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+				return HaloExchange(pr, offs, blocks[pr.Rank()])
+			})
+			for r, v := range out {
+				if !algebra.Equal(v, want[r]) {
+					t.Fatalf("p=%d offsets=%v: halo proc %d = %v, want %v", n, offs, r, v, want[r])
+				}
+			}
+		}
+	}
+}
+
+func TestHaloExchangeListsConformsToEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		// Random per-rank source lists, including self-edges and repeats.
+		lists := make([][]int, n)
+		for i := range lists {
+			k := rng.Intn(3) + 1
+			lists[i] = make([]int, k)
+			for j := range lists[i] {
+				lists[i][j] = rng.Intn(n)
+			}
+		}
+		blocks := randBlocks(rng, n, 2)
+		in := make([]algebra.Value, n)
+		for i := range in {
+			in[i] = blocks[i]
+		}
+		want := term.Eval(term.Halo{H: &term.Hood{Lists: lists}}, in)
+		out, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+			return HaloExchangeLists(pr, lists, blocks[pr.Rank()])
+		})
+		for r, v := range out {
+			if !algebra.Equal(v, want[r]) {
+				t.Fatalf("p=%d lists=%v: proc %d = %v, want %v", n, lists, r, v, want[r])
+			}
+		}
+	}
+}
+
+// testCounts enumerates the block-vector shapes the acceptance criteria
+// name: ragged, with zero-length blocks, and maximally skewed (one rank
+// owns everything).
+func testCounts(rng *rand.Rand, n int) [][]int {
+	ragged := make([]int, n)
+	for i := range ragged {
+		ragged[i] = 1 + rng.Intn(3)
+	}
+	zeros := make([]int, n)
+	for i := range zeros {
+		zeros[i] = rng.Intn(3) // zero-length blocks likely
+	}
+	skew := make([]int, n)
+	skew[rng.Intn(n)] = 5
+	allZero := make([]int, n)
+	return [][]int{ragged, zeros, skew, allZero}
+}
+
+func TestAllGatherVConformsToEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for _, n := range sparseSizes {
+		for _, counts := range testCounts(rng, n) {
+			in := make([]algebra.Value, n)
+			for i := range in {
+				v := make(algebra.Vec, counts[i])
+				for j := range v {
+					v[j] = float64(rng.Intn(19) - 9)
+				}
+				in[i] = v
+			}
+			want := term.Eval(term.AllGatherV{Counts: counts}, in)
+			out, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+				return AllGatherV(pr, counts, in[pr.Rank()])
+			})
+			for r, v := range out {
+				if !algebra.Equal(v, want[r]) {
+					t.Fatalf("p=%d counts=%v: allgatherv proc %d = %v, want %v", n, counts, r, v, want[r])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterVConformsToEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for _, op := range []*algebra.Op{algebra.Add, algebra.Max, algebra.Left} {
+		for _, n := range sparseSizes {
+			for _, counts := range testCounts(rng, n) {
+				total := term.SumCounts(counts)
+				in := make([]algebra.Value, n)
+				for i := range in {
+					v := make(algebra.Vec, total)
+					for j := range v {
+						v[j] = float64(rng.Intn(19) - 9)
+					}
+					in[i] = v
+				}
+				want := term.Eval(term.ReduceScatterV{Op: op, Counts: counts}, in)
+				out, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+					return ReduceScatterV(pr, op, counts, in[pr.Rank()])
+				})
+				for r, v := range out {
+					if !algebra.Equal(v, want[r]) {
+						t.Fatalf("p=%d op=%s counts=%v: proc %d = %v, want %v", n, op.Name, counts, r, v, want[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReduceScatterVThenAllGatherVMatchesAllReduce pins the semantic
+// core of the RSAG-AllReduce rewrite at the collective level: slicing
+// the rank-ordered combine and regathering it is bitwise the allreduce.
+func TestReduceScatterVThenAllGatherVMatchesAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		counts := testCounts(rng, n)[0]
+		total := term.SumCounts(counts)
+		in := make([]algebra.Vec, n)
+		for i := range in {
+			in[i] = make(algebra.Vec, total)
+			for j := range in[i] {
+				in[i][j] = float64(rng.Intn(19) - 9)
+			}
+		}
+		fused, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+			return AllReduce(pr, algebra.Add, in[pr.Rank()].Clone())
+		})
+		pair, _ := runSPMD(n, machine.Params{Ts: 4, Tw: 1}, func(pr Comm) Value {
+			mid := ReduceScatterV(pr, algebra.Add, counts, in[pr.Rank()])
+			return AllGatherV(pr, counts, mid)
+		})
+		for r := range pair {
+			if !algebra.Equal(pair[r], fused[r]) {
+				t.Fatalf("p=%d counts=%v proc %d: pair %v, allreduce %v", n, counts, r, pair[r], fused[r])
+			}
+		}
+	}
+}
+
+func TestSparseCollectivesPanicOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allgatherv accepted a wrong-length block")
+		}
+	}()
+	runSPMD(2, machine.Params{}, func(pr Comm) Value {
+		return AllGatherV(pr, []int{1, 1}, make(algebra.Vec, 3))
+	})
+}

@@ -133,6 +133,15 @@ func execStage(s term.Term, c coll.Comm, v algebra.Value) algebra.Value {
 		return coll.BcastRepeat(c, 0, st.Ops, v)
 	case term.Iter:
 		return coll.Iter(c, st.Op, v)
+	case term.Halo:
+		if st.H.Isomorphic() {
+			return coll.HaloExchange(c, st.H.Offsets, v)
+		}
+		return coll.HaloExchangeLists(c, st.H.Lists, v)
+	case term.AllGatherV:
+		return coll.AllGatherV(c, st.Counts, v)
+	case term.ReduceScatterV:
+		return coll.ReduceScatterV(c, st.Op, st.Counts, v)
 	case term.Seq:
 		for _, sub := range term.Stages(st) {
 			v = execStage(sub, c, v)

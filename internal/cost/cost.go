@@ -136,6 +136,16 @@ func ofStage(t term.Term, p Params, b float64) (float64, float64) {
 		return logp*(p.Ts+b*p.Tw) + logp*float64(s.Ops.CostO)*b, b
 	case term.Iter:
 		return logp * float64(s.Op.Cost) * b, b
+	case term.Halo:
+		// k point-to-point transfers, output a width-|H| tuple of blocks.
+		return HaloLine(s.H, p, b), b * float64(haloWidth(s.H))
+	case term.AllGatherV:
+		// The counts pin p and the total; downstream stages see the flat
+		// T-word concatenation.
+		return AllGatherVLine(s.Counts, p), float64(term.SumCounts(s.Counts))
+	case term.ReduceScatterV:
+		// The widest slice bounds the makespan; downstream stages see it.
+		return ReduceScatterVLine(s.Op.Cost, s.Counts, p), float64(maxCount(s.Counts))
 	case term.Seq:
 		return ofStages(s, p, b)
 	}
@@ -176,6 +186,13 @@ func floorStages(t term.Term, p Params, b float64) (float64, float64) {
 		case term.Gather, term.Scatter:
 			// Removable (GS-Id/SG-Id): contributes nothing to the floor,
 			// but still reshapes the block for the stages after it.
+			_, b = ofStage(stage, p, b)
+		case term.Halo, term.AllGatherV, term.ReduceScatterV:
+			// Rewritable (HH-Combine fuses halos, RSAG-AllReduce replaces
+			// the reduce_scatterv;allgatherv pair): no floor contribution,
+			// but the block reshaping survives every derivation — combined
+			// halos multiply the fan-ins, and the pair rewrite only fires
+			// when the counts match, leaving the downstream block at T.
 			_, b = ofStage(stage, p, b)
 		case term.Map, term.MapIdx, term.Iter, term.ScanBal, term.Comcast:
 			var c float64

@@ -84,6 +84,57 @@ func DocFlagsInDir(dir, cmd string) (map[string]map[string]bool, error) {
 	return byPage, nil
 }
 
+// inlineCodeRE matches a markdown inline code span on one line.
+var inlineCodeRE = regexp.MustCompile("`([^`\n]+)`")
+
+// CodeSpans extracts the code fragments of a markdown page: inline
+// `span` contents plus each line of ``` fenced blocks and of
+// four-space-indented blocks. Syntax drift tests run the returned
+// fragments through the real parser, so a doc example using syntax
+// that no longer parses fails the suite the same way a stale flag
+// does.
+func CodeSpans(text string) []string {
+	var spans []string
+	fenced := false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || strings.HasPrefix(line, "    ") {
+			if trimmed != "" {
+				spans = append(spans, trimmed)
+			}
+			continue
+		}
+		for _, m := range inlineCodeRE.FindAllStringSubmatch(line, -1) {
+			spans = append(spans, m[1])
+		}
+	}
+	return spans
+}
+
+// CodeSpansInDir runs CodeSpans over every .md page in dir, keyed by
+// file name, omitting pages without code.
+func CodeSpansInDir(dir string) (map[string][]string, error) {
+	pages, err := filepath.Glob(filepath.Join(dir, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	byPage := make(map[string][]string)
+	for _, page := range pages {
+		doc, err := ReadFile(page)
+		if err != nil {
+			return nil, err
+		}
+		if spans := CodeSpans(doc); len(spans) > 0 {
+			byPage[filepath.Base(page)] = spans
+		}
+	}
+	return byPage, nil
+}
+
 // DocComment returns a Go file's package doc comment: the leading //
 // lines before the package clause, with the markers stripped.
 func DocComment(src string) string {

@@ -69,6 +69,43 @@ func TestDocFlagsInDir(t *testing.T) {
 	}
 }
 
+func TestCodeSpans(t *testing.T) {
+	doc := "Prose with `inline one` and `inline two` spans.\n" +
+		"```\nfenced line a\n\nfenced line b\n```\n" +
+		"back to prose, `after fence`\n" +
+		"    indented example\n" +
+		"plain line\n"
+	got := CodeSpans(doc)
+	want := []string{
+		"inline one", "inline two",
+		"fenced line a", "fenced line b",
+		"after fence", "indented example",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CodeSpans = %q, want %q", got, want)
+	}
+}
+
+func TestCodeSpansInDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.md", "see `halo(-1,1)` there\n")
+	write("b.md", "no code at all\n")
+	got, err := CodeSpansInDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{"a.md": {"halo(-1,1)"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CodeSpansInDir = %v, want %v", got, want)
+	}
+}
+
 func TestDocComment(t *testing.T) {
 	src := "// Command collx does things.\n//\n//\t-p N  ranks\n\npackage main\n\nvar x = 1 // not doc\n"
 	got := DocComment(src)

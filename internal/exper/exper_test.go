@@ -347,6 +347,19 @@ func TestAppSpeedup(t *testing.T) {
 	}
 }
 
+// TestAppSpeedupAcceptsEveryListedApp pins AppNames against the
+// AppSpeedup dispatch: every advertised app must run (the sparse ones
+// need n divisible by the stencil's 64 rows and by 8 for the graph's
+// vertex count) and produce a nonzero single-processor time.
+func TestAppSpeedupAcceptsEveryListedApp(t *testing.T) {
+	for _, app := range AppNames {
+		rows := AppSpeedup(app, 100, 1, 512, []int{2})
+		if len(rows) != 1 || rows[0].Time <= 0 {
+			t.Fatalf("%s: rows = %+v", app, rows)
+		}
+	}
+}
+
 func TestAppSpeedupUnknownAppPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -17,10 +17,21 @@ type SpeedupRow struct {
 	Speedup, Efficiency float64
 }
 
+// AppNames lists the applications AppSpeedup accepts, in the order
+// collbench -apps reports them. The docscan drift tests pin this list
+// against the docs, and a harness test pins it against the AppSpeedup
+// dispatch, so an app added to one place must be added to all.
+var AppNames = []string{"mss", "statistics", "samplesort", "stencil", "raggedscan", "degreehist"}
+
 // AppSpeedup measures strong scaling of one of the collective-only
 // applications: the same N-element problem on growing machines, with
 // speedup relative to the single-processor run under the same cost
-// model. app is "mss", "samplesort" or "statistics".
+// model. app is "mss", "samplesort", "statistics", or one of the sparse
+// workloads "stencil" (2D torus stencil over halo exchanges, row
+// decomposition), "raggedscan" (segmented scan over ragged blocks with
+// allgatherv delivery) and "degreehist" (graph-degree histogram over
+// reduce_scatterv). The sparse problem shapes derive from n
+// deterministically, so rows are comparable across machine sizes.
 func AppSpeedup(app string, ts, tw float64, n int, ps []int) []SpeedupRow {
 	xs := make([]float64, n)
 	for i := range xs {
@@ -38,6 +49,31 @@ func AppSpeedup(app string, ts, tw float64, n int, ps []int) []SpeedupRow {
 		case "statistics":
 			_, res := apps.Statistics(mach, xs)
 			return res.Makespan
+		case "stencil":
+			rows := 64
+			cols := n / rows
+			grid := make([][]float64, rows)
+			for i := range grid {
+				grid[i] = xs[i*cols : (i+1)*cols]
+			}
+			_, res := apps.Stencil2D(mach, grid, p, 1, 4)
+			return res.Makespan
+		case "raggedscan":
+			counts := raggedCounts(n, p)
+			flags := make([]bool, n)
+			for i := range flags {
+				flags[i] = i%7 == 0
+			}
+			_, res := apps.RaggedSegmentedScan(mach, counts, flags, xs)
+			return res.Makespan
+		case "degreehist":
+			nv := n / 8
+			edges := make([][2]int, n)
+			for i := range edges {
+				edges[i] = [2]int{(i * 2654435761) % nv, (i*40503 + 7) % nv}
+			}
+			_, res := apps.DegreeHistogram(mach, nv, edges, raggedCounts(nv, p), 8)
+			return res.Makespan
 		}
 		panic(fmt.Sprintf("exper: unknown application %q", app))
 	}
@@ -53,6 +89,23 @@ func AppSpeedup(app string, ts, tw float64, n int, ps []int) []SpeedupRow {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// raggedCounts deterministically distributes n items over p ranks with
+// genuine raggedness — some ranks own nothing — summing exactly to n.
+func raggedCounts(n, p int) []int {
+	counts := make([]int, p)
+	left := n
+	for i := 0; i < p-1; i++ {
+		share := n / p * ((i * 3) % 4) / 2 // 0×, 1.5×, 1×, 0.5× the even share
+		if share > left {
+			share = left
+		}
+		counts[i] = share
+		left -= share
+	}
+	counts[p-1] = left
+	return counts
 }
 
 // FormatSpeedup renders a speedup table.

@@ -84,11 +84,35 @@ func FormatMPI(t term.Term) string {
 			out := nextVar()
 			fmt.Fprintf(&b, "%s = iter ( %s, %s );  /* local, §3.5: %s applied log p times on the root */\n",
 				out, s.Op.Name, in, s.Op.Name)
+		case term.Halo:
+			in := cur()
+			out := nextVar()
+			fmt.Fprintf(&b, "MPI_Neighbor_allgather (%s, count, type, %s, count, type, comm_graph);  /* neighborhood (%s) */\n",
+				in, out, s.H)
+		case term.AllGatherV:
+			in := cur()
+			out := nextVar()
+			fmt.Fprintf(&b, "MPI_Allgatherv (%s, counts[rank], type, %s, counts, displs, type, comm);  /* counts = {%s} */\n",
+				in, out, countsList(s.Counts))
+		case term.ReduceScatterV:
+			in := cur()
+			out := nextVar()
+			fmt.Fprintf(&b, "MPI_Reduce_scatter (%s, %s, counts, type, %s, comm);  /* counts = {%s} */\n",
+				in, out, mpiOpName(s.Op), countsList(s.Counts))
 		default:
 			fmt.Fprintf(&b, "/* no MPI rendering for %s */\n", stage)
 		}
 	}
 	return b.String()
+}
+
+// countsList renders a counts vector for the emitted comments.
+func countsList(counts []int) string {
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // mpiOpName maps the predefined base operators back to their MPI names;

@@ -36,6 +36,10 @@ const (
 	TokRParen
 	// TokComma is ','.
 	TokComma
+	// TokNumber is an unsigned decimal integer literal, as in the offset
+	// and counts lists of the sparse collectives: halo(-1,1),
+	// allgatherv(2,0,3). A leading sign lexes as a separate TokOp.
+	TokNumber
 )
 
 func (k TokenKind) String() string {
@@ -54,6 +58,8 @@ func (k TokenKind) String() string {
 		return "')'"
 	case TokComma:
 		return "','"
+	case TokNumber:
+		return "number"
 	}
 	return fmt.Sprintf("TokenKind(%d)", int(k))
 }
@@ -147,6 +153,14 @@ func Lex(src string) ([]Token, error) {
 				col++
 			}
 			toks = append(toks, Token{Kind: TokOp, Text: src[start:i], Pos: start, Line: line, Col: startCol})
+		case unicode.IsDigit(c):
+			start := i
+			startCol := col
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				i++
+				col++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Pos: start, Line: line, Col: startCol})
 		case isIdentStart(c):
 			start := i
 			startCol := col

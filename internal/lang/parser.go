@@ -1,6 +1,8 @@
 package lang
 
 import (
+	"strconv"
+
 	"repro/internal/algebra"
 	"repro/internal/term"
 )
@@ -81,8 +83,12 @@ func (p *parser) expect(kind TokenKind) (Token, error) {
 //	stage   := 'bcast'
 //	         | ('scan' | 'reduce' | 'allreduce') '(' opname ')'
 //	         | 'map' fnname
+//	         | 'halo' '(' int (',' int)* ')'
+//	         | 'allgatherv' '(' uint (',' uint)* ')'
+//	         | 'reduce_scatterv' '(' opname ',' uint (',' uint)* ')'
 //
-// resolving names against syms (nil means NewSymbols()).
+// resolving names against syms (nil means NewSymbols()). Halo offsets
+// may be negative; counts vectors may not.
 func Parse(src string, syms *Symbols) (term.Term, error) {
 	if syms == nil {
 		syms = NewSymbols()
@@ -140,6 +146,41 @@ func (p *parser) stage() (term.Term, error) {
 			return nil, err
 		}
 		return term.Reduce{Op: op, All: true}, nil
+	case "halo":
+		offs, err := p.intList(t, true)
+		if err != nil {
+			return nil, err
+		}
+		return term.Halo{H: &term.Hood{Offsets: offs}}, nil
+	case "allgatherv":
+		counts, err := p.intList(t, false)
+		if err != nil {
+			return nil, err
+		}
+		return term.AllGatherV{Counts: counts}, nil
+	case "reduce_scatterv":
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		ot := p.next()
+		if ot.Kind != TokIdent && ot.Kind != TokOp {
+			return nil, errorf(ot.Line, ot.Col, "expected an operator name after reduce_scatterv(, found %s", ot)
+		}
+		op, ok := p.syms.Op(ot.Text)
+		if !ok {
+			return nil, errorf(ot.Line, ot.Col, "unknown operator %q", ot.Text)
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		counts, err := p.ints(false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return term.ReduceScatterV{Op: op, Counts: counts}, nil
 	case "map":
 		name, err := p.expect(TokIdent)
 		if err != nil {
@@ -152,6 +193,50 @@ func (p *parser) stage() (term.Term, error) {
 		return term.Map{F: fn}, nil
 	default:
 		return nil, errorf(t.Line, t.Col, "unknown stage %q (expected bcast, gather, scatter, scan, reduce, allreduce or map)", t.Text)
+	}
+}
+
+// intList parses '(' int (',' int)* ')'.
+func (p *parser) intList(stage Token, signed bool) ([]int, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	out, err := p.ints(signed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ints parses int (',' int)*, where an int is a TokNumber optionally
+// preceded (when signed) by a '-' operator token.
+func (p *parser) ints(signed bool) ([]int, error) {
+	var out []int
+	for {
+		neg := false
+		if t := p.peek(); signed && t.Kind == TokOp && t.Text == "-" {
+			p.next()
+			neg = true
+		}
+		t, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		v, err2 := strconv.Atoi(t.Text)
+		if err2 != nil {
+			return nil, errorf(t.Line, t.Col, "bad integer %q", t.Text)
+		}
+		if neg {
+			v = -v
+		}
+		out = append(out, v)
+		if p.peek().Kind != TokComma {
+			return out, nil
+		}
+		p.next()
 	}
 }
 

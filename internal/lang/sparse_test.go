@@ -1,0 +1,89 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// TestSparseParseRoundTrip pins the surface syntax of the sparse
+// collectives: parsing a program and rendering it back is the identity,
+// and re-parsing the rendering is a fixed point.
+func TestSparseParseRoundTrip(t *testing.T) {
+	programs := []string{
+		"halo(-1,1)",
+		"halo(0)",
+		"halo(1,2) ; halo(0,3)",
+		"allgatherv(2,0,3)",
+		"reduce_scatterv(+,2,0,3)",
+		"reduce_scatterv(max,1,1)",
+		"halo(-2,5) ; map pair ; allgatherv(0,4)",
+		"reduce_scatterv(+,2,0,3) ; allgatherv(2,0,3)",
+	}
+	for _, src := range programs {
+		prog, err := Parse(src, nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := prog.String()
+		if rendered != src {
+			t.Fatalf("Parse(%q).String() = %q", src, rendered)
+		}
+		again, err := Parse(rendered, nil)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("parse/print not a fixed point: %q -> %q", rendered, again.String())
+		}
+	}
+}
+
+func TestSparseParseErrors(t *testing.T) {
+	bad := []string{
+		"halo()",                 // empty offset list
+		"halo(x)",                // not an integer
+		"allgatherv(-1,2)",       // counts may not be negative
+		"allgatherv(1 2)",        // missing comma
+		"reduce_scatterv(2,0,3)", // missing operator
+		"reduce_scatterv(?,1,1)", // unknown operator
+		"halo(1,)",               // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSparseFormatMPI(t *testing.T) {
+	prog, err := Parse("halo(-1,1) ; allgatherv(2,0,3) ; reduce_scatterv(+,2,0,3)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatMPI(prog)
+	for _, want := range []string{
+		"MPI_Neighbor_allgather",
+		"MPI_Allgatherv",
+		"MPI_Reduce_scatter",
+		"counts = {2, 0, 3}",
+		"MPI_SUM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatMPI missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLexNumbersStayAdditive(t *testing.T) {
+	// Digit runs are tokens now; they must not leak into identifiers or
+	// operators elsewhere in the grammar.
+	if _, err := Parse("scan(+) ; reduce(+)", nil); err != nil {
+		t.Fatalf("dense program broke: %v", err)
+	}
+	if _, err := Parse("map pair2", nil); err == nil {
+		t.Error("unknown identifier with digits accepted")
+	}
+	_ = term.Seq{}
+}

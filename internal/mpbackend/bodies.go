@@ -319,16 +319,44 @@ func confBlocks(p, m int) []algebra.Value {
 }
 
 // confInputs adapts the blocks to the program: a leading scatter consumes
-// a p-component list on rank 0, as in the chaos harness.
+// a p-component list on rank 0, a leading reduce_scatterv a full
+// ΣCounts-word vector per rank, and a leading allgatherv the ragged
+// counts[r]-word blocks — as in the chaos harness.
 func confInputs(prog term.Seq, p, m int) []algebra.Value {
 	if len(prog) > 0 {
-		if _, ok := prog[0].(term.Scatter); ok {
+		switch st := prog[0].(type) {
+		case term.Scatter:
 			in := make([]algebra.Value, p)
 			list := make(algebra.Tuple, p)
 			copy(list, confBlocks(p, m))
 			in[0] = list
 			for r := 1; r < p; r++ {
 				in[r] = algebra.Scalar(float64(-r))
+			}
+			return in
+		case term.ReduceScatterV:
+			total := term.SumCounts(st.Counts)
+			in := make([]algebra.Value, p)
+			for r := range in {
+				b := make(algebra.Vec, total)
+				for j := range b {
+					b[j] = float64((r*7+j*3)%5 + 1)
+				}
+				in[r] = b
+			}
+			return in
+		case term.AllGatherV:
+			in := make([]algebra.Value, p)
+			for r := range in {
+				cnt := 0
+				if r < len(st.Counts) {
+					cnt = st.Counts[r]
+				}
+				b := make(algebra.Vec, cnt)
+				for j := range b {
+					b[j] = float64((r*7+j*3)%5 + 1)
+				}
+				in[r] = b
 			}
 			return in
 		}
@@ -349,6 +377,7 @@ func programBody(p *Proc, raw json.RawMessage) (any, error) {
 	}
 	syms := lang.NewSymbols()
 	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
 	t, err := lang.Parse(ps.Src, syms)
 	if err != nil {
 		return nil, fmt.Errorf("mpbackend: bad program: %v", err)

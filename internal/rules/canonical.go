@@ -53,6 +53,15 @@ func canonicalStage(st term.Term) string {
 		return "gather"
 	case term.Scatter:
 		return "scatter"
+	case term.Halo:
+		// The offset form matches the parseable surface syntax; the
+		// per-rank-list form falls back to its deterministic String like
+		// the other out-of-grammar stages.
+		return x.String()
+	case term.AllGatherV:
+		return x.String()
+	case term.ReduceScatterV:
+		return x.String()
 	}
 	return st.String()
 }

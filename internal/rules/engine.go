@@ -71,7 +71,11 @@ func (e *Engine) rules() []Rule {
 	if e.Rules != nil {
 		return e.Rules
 	}
-	return All()
+	// The sparse message-combining rules ride along by default: their
+	// patterns only match sparse stages (halo, reduce_scatterv,
+	// allgatherv), so they are inert on dense programs and cannot change
+	// any existing optimization.
+	return append(All(), Sparse()...)
 }
 
 // Step performs the first applicable rule application, scanning stages

@@ -203,10 +203,11 @@ func Extensions() []Rule {
 	return []Rule{RBAllReduce, ABAllReduce, BBBcast, GSId, SGId, BMMobility, MMLocal}
 }
 
-// AllWithExtensions returns the paper's rules followed by the extensions.
-// The paper rules keep priority; mobility and local fusion fire only when
-// nothing else does, which is what makes them window-openers rather than
-// noise.
+// AllWithExtensions returns the paper's rules followed by the extensions
+// and the sparse message-combining rules. The paper rules keep priority;
+// mobility and local fusion fire only when nothing else does, which is
+// what makes them window-openers rather than noise.
 func AllWithExtensions() []Rule {
-	return append(All(), Extensions()...)
+	out := append(All(), Extensions()...)
+	return append(out, Sparse()...)
 }

@@ -183,8 +183,8 @@ func TestExtensionsHaveDistinctNames(t *testing.T) {
 		}
 		seen[r.Name] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("expected 18 rules total, got %d", len(seen))
+	if len(seen) != 21 {
+		t.Fatalf("expected 21 rules total, got %d", len(seen))
 	}
 	if _, ok := ByName("BM-Mobility"); !ok {
 		t.Fatal("ByName does not see extensions")

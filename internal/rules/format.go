@@ -66,5 +66,10 @@ func Catalog(includeExtensions bool) string {
 			b.WriteString("\n")
 		}
 	}
+	b.WriteString("-- sparse collectives (message combining) --\n\n")
+	for _, r := range Sparse() {
+		b.WriteString(FormatRule(r))
+		b.WriteString("\n")
+	}
 	return b.String()
 }

@@ -57,6 +57,7 @@ func (c VerifyConfig) trials() int {
 // parts of their results, §3.5). It returns an error describing the first
 // counterexample found, or nil.
 func VerifyEquivalence(lhs, rhs term.Term, cfg VerifyConfig) error {
+	cfg = shapeFor(lhs, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	for _, n := range cfg.sizes() {
 		for trial := 0; trial < cfg.trials(); trial++ {
@@ -88,6 +89,29 @@ func VerifyEquivalence(lhs, rhs term.Term, cfg VerifyConfig) error {
 		}
 	}
 	return nil
+}
+
+// shapeFor adapts a verification config to programs whose input shapes
+// the default scalar generator cannot satisfy: a counts-carrying stage
+// (reduce_scatterv, allgatherv) pins the machine size to len(counts)
+// and demands vectors of the counts' shape, so the config is rewritten
+// to that single size with a shape-matching generator. Explicit Gens
+// are respected; programs without counts stages (halos run on any
+// value at any size) pass through unchanged.
+func shapeFor(lhs term.Term, cfg VerifyConfig) VerifyConfig {
+	if cfg.Gen != nil {
+		return cfg
+	}
+	counts, ok := progCounts(lhs)
+	if !ok {
+		return cfg
+	}
+	prog := term.Compose(lhs)
+	cfg.Sizes = []int{len(counts)}
+	cfg.Gen = func(rng *rand.Rand, n int) []algebra.Value {
+		return SparseInputs(prog, rng, n)
+	}
+	return cfg
 }
 
 func compareOn(lhs, rhs term.Term, in []algebra.Value, n, trial int, relTol float64) error {

@@ -74,6 +74,7 @@ type Planner struct {
 func NewPlanner(cacheSize, cacheShards int) *Planner {
 	syms := lang.NewSymbols()
 	syms.DefineFn(rules.IncFn)
+	syms.DefineFn(rules.IncTupFn)
 	return &Planner{
 		Symbols:   syms,
 		Verify:    true,

@@ -100,6 +100,12 @@ func Eval(t Term, xs []algebra.Value) []algebra.Value {
 			out[i] = algebra.First(s.Ops.Repeat(i, s.Ops.Prepare(xs[0])))
 		}
 		return out
+	case Halo:
+		return evalHalo(s.H, xs)
+	case AllGatherV:
+		return evalAllGatherV(s.Counts, xs)
+	case ReduceScatterV:
+		return evalReduceScatterV(s.Op, s.Counts, xs)
 	case Iter:
 		out := make([]algebra.Value, len(xs))
 		w := s.Op.Prepare(xs[0])

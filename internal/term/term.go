@@ -282,6 +282,15 @@ func equalStage(a, b Term) bool {
 	case Iter:
 		y, ok := b.(Iter)
 		return ok && x.Op == y.Op
+	case Halo:
+		y, ok := b.(Halo)
+		return ok && EqualHoods(x.H, y.H)
+	case AllGatherV:
+		y, ok := b.(AllGatherV)
+		return ok && equalInts(x.Counts, y.Counts)
+	case ReduceScatterV:
+		y, ok := b.(ReduceScatterV)
+		return ok && x.Op == y.Op && equalInts(x.Counts, y.Counts)
 	}
 	return false
 }
